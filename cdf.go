@@ -1,0 +1,308 @@
+// Package cdf is the public API of the Criticality Driven Fetch
+// reproduction (Deshmukh & Patt, MICRO 2021). It wraps the cycle-level
+// simulator in internal/core, the benchmark suite in internal/workload, and
+// the McPAT/CACTI-style energy model in internal/energy, and provides one
+// runner per table and figure of the paper's evaluation (see
+// experiments.go).
+//
+// Quick start:
+//
+//	res, err := cdf.Run("astar", cdf.Options{Mode: cdf.ModeCDF})
+//	fmt.Printf("IPC %.3f\n", res.IPC)
+//
+// Compare the three machines of the paper:
+//
+//	rows, err := cdf.Fig13Speedup(cdf.SuiteOptions{})
+package cdf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cdf/internal/core"
+	"cdf/internal/energy"
+	"cdf/internal/stats"
+	"cdf/internal/workload"
+)
+
+// Mode selects the simulated machine.
+type Mode = core.Mode
+
+// The three machines of the evaluation, plus the §6 future-work extension.
+const (
+	ModeBaseline = core.ModeBaseline // aggressive OoO + stream prefetching
+	ModeCDF      = core.ModeCDF      // baseline + Criticality Driven Fetch
+	ModePRE      = core.ModePRE      // baseline + Precise Runahead
+	// ModeHybrid combines CDF with runahead during non-CDF full-window
+	// stalls — the combination §6 proposes as future work.
+	ModeHybrid = core.ModeHybrid
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Mode Mode
+
+	// MaxUops bounds the run length (0 = DefaultMaxUops). Kernels are
+	// steady-state loops, so this plays the role of the paper's SimPoint
+	// length.
+	MaxUops uint64
+
+	// WarmupUops warms caches, predictors and the criticality machinery
+	// before statistics start (the paper warms for 200M instructions
+	// before each SimPoint). The measured region is MaxUops - WarmupUops.
+	WarmupUops uint64
+
+	// ROBSize scales the instruction window (0 = Table 1's 352); the other
+	// window structures scale proportionally (Fig. 17's rule).
+	ROBSize int
+
+	// MarkCriticalBranches controls §3.2's hard-to-predict branch marking;
+	// nil means the Table 1 default (on). The §4.2 ablation sets it false.
+	MarkCriticalBranches *bool
+
+	// TrainCriticality runs the marking machinery observe-only in baseline
+	// mode (needed for the Fig. 1 ROB-occupancy measurement).
+	TrainCriticality bool
+
+	// StaticPartition freezes the backend partitions at their initial skew
+	// (the §3.5 dynamic-partitioning ablation).
+	StaticPartition bool
+
+	// NoMaskCache disables cross-path criticality-mask accumulation (the
+	// §3.6 Mask Cache ablation — expect more dependence violations).
+	NoMaskCache bool
+
+	// CUCKB overrides the Critical Uop Cache capacity in KB (0 = Table 1's
+	// 18KB); used by the capacity-sensitivity sweep.
+	CUCKB int
+
+	// Seed drives the deterministic wrong-path models.
+	Seed uint64
+}
+
+// DefaultMaxUops is the per-run instruction budget when Options.MaxUops is
+// zero: long enough for several fill-buffer walk epochs and steady-state
+// behaviour, short enough that the full suite runs in seconds.
+const DefaultMaxUops = 100_000
+
+// coreConfig materializes a core.Config from Options.
+func (o Options) coreConfig() core.Config {
+	cfg := core.Default()
+	cfg.Mode = o.Mode
+	cfg.MaxRetired = o.MaxUops
+	if cfg.MaxRetired == 0 {
+		cfg.MaxRetired = DefaultMaxUops
+	}
+	cfg.WarmupRetired = o.WarmupUops
+	if cfg.WarmupRetired >= cfg.MaxRetired {
+		cfg.WarmupRetired = 0
+	}
+	// Backstop against pathological configurations; generous enough that
+	// no benchmark/mode hits it in practice.
+	cfg.MaxCycles = cfg.MaxRetired * 100
+	if o.ROBSize > 0 {
+		cfg = core.ScaleWindow(cfg, o.ROBSize)
+	}
+	if o.MarkCriticalBranches != nil {
+		cfg.CDF.MarkCriticalBranches = *o.MarkCriticalBranches
+	}
+	cfg.CDF.DisableDynamicPartition = o.StaticPartition
+	cfg.CDF.DisableMaskCache = o.NoMaskCache
+	if o.CUCKB > 0 {
+		cfg.CDF.CUCLines = o.CUCKB * 1024 / 64
+	}
+	cfg.TrainCriticality = o.TrainCriticality
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// Metric is one named statistic in a Result.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Benchmark string
+	Mode      Mode
+
+	Cycles uint64
+	Uops   uint64
+	IPC    float64
+	MLP    float64
+
+	// MemTraffic is total DRAM line transfers (Fig. 15's metric).
+	MemTraffic uint64
+	// EnergyPJ is the modelled total energy (Fig. 16/17's metric; relative
+	// use only).
+	EnergyPJ float64
+	// AreaRel is modelled area relative to the Table 1 baseline core.
+	AreaRel float64
+	// CDFAreaFrac is the CDF structures' share of total area (§4.3 reports
+	// 3.2%).
+	CDFAreaFrac float64
+
+	BranchMPKI float64
+	LLCMPKI    float64
+
+	// StallROBCritFrac is Fig. 1's metric: the fraction of ROB entries
+	// holding critical-path uops during full-window stalls.
+	StallROBCritFrac      float64
+	FullWindowStallCycles uint64
+
+	CDFModeCycles        uint64
+	DependenceViolations uint64
+	RunaheadIntervals    uint64
+
+	// Metrics carries the complete counter table for reports and tests.
+	Metrics []Metric
+}
+
+// BenchmarkInfo describes one suite kernel.
+type BenchmarkInfo struct {
+	Name      string
+	SPEC      string // the SPEC benchmark this kernel is the stand-in for
+	Phenotype string
+	Expect    string // the paper's qualitative winner: cdf / pre / both / neither
+}
+
+// Benchmarks lists the suite (one kernel per paper benchmark), name-sorted.
+func Benchmarks() []BenchmarkInfo {
+	ws := workload.All()
+	out := make([]BenchmarkInfo, len(ws))
+	for i, w := range ws {
+		out[i] = BenchmarkInfo{Name: w.Name, SPEC: w.SPEC, Phenotype: w.Phenotype, Expect: w.Expect}
+	}
+	return out
+}
+
+// Run simulates one benchmark under opt and returns its Result.
+func Run(benchmark string, opt Options) (Result, error) {
+	w, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	prg, mem := w.Build()
+	cfg := opt.coreConfig()
+	c, err := core.New(cfg, prg, mem)
+	if err != nil {
+		return Result{}, fmt.Errorf("cdf: %s/%s: %w", benchmark, opt.Mode, err)
+	}
+	c.Run()
+	st := c.Stats()
+	if c.Retired() < cfg.MaxRetired {
+		return Result{}, fmt.Errorf("cdf: %s/%s retired only %d/%d uops in %d cycles",
+			benchmark, opt.Mode, c.Retired(), cfg.MaxRetired, c.Cycles())
+	}
+	return buildResult(benchmark, opt.Mode, cfg, st), nil
+}
+
+func buildResult(benchmark string, mode Mode, cfg core.Config, st *stats.Stats) Result {
+	rep := energy.Compute(energyParams(cfg), st)
+	res := Result{
+		Benchmark: benchmark,
+		Mode:      mode,
+
+		Cycles:      st.Cycles,
+		Uops:        st.RetiredUops,
+		IPC:         st.IPC(),
+		MLP:         st.MLP(),
+		MemTraffic:  st.MemTraffic(),
+		EnergyPJ:    rep.TotalPJ,
+		AreaRel:     rep.AreaRel,
+		CDFAreaFrac: rep.CDFAreaFrac,
+
+		BranchMPKI: st.BranchMPKI(),
+		LLCMPKI:    st.LLCMPKI(),
+
+		StallROBCritFrac:      st.StallROBCriticalFrac(),
+		FullWindowStallCycles: st.FullWindowStallCycles,
+
+		CDFModeCycles:        st.CDFModeCycles,
+		DependenceViolations: st.DependenceViolations,
+		RunaheadIntervals:    st.RunaheadIntervals,
+	}
+	for _, row := range st.Table() {
+		res.Metrics = append(res.Metrics, Metric{Name: row.Name, Value: row.Value})
+	}
+	return res
+}
+
+// energyParams maps a core configuration onto the energy model.
+func energyParams(cfg core.Config) energy.Params {
+	p := energy.Params{
+		Width:   cfg.Width,
+		ROBSize: cfg.ROBSize,
+		RSSize:  cfg.RSSize,
+		LQSize:  cfg.LQSize,
+		SQSize:  cfg.SQSize,
+		PRFSize: cfg.PRFSize,
+
+		L1ISizeBytes: cfg.Mem.L1ISizeBytes,
+		L1DSizeBytes: cfg.Mem.L1DSizeBytes,
+		LLCSizeBytes: cfg.Mem.LLCSizeBytes,
+		FreqGHz:      3.2,
+	}
+	if cfg.Mode != ModeBaseline {
+		p.CDFEnabled = true
+		p.CUCBytes = cfg.CDF.CUCLines * 64
+		p.MaskBytes = cfg.CDF.MaskEntries * 8
+		p.FillBufBytes = cfg.CDF.FillBufferSize * 16
+		p.FIFOBytes = cfg.CDF.DBQSize*4 + cfg.CDF.CMQSize*2
+	}
+	return p
+}
+
+// runSet runs (benchmark, mode) pairs in parallel and collects results.
+type runKey struct {
+	bench string
+	mode  Mode
+}
+
+func runSet(benches []string, modes []Mode, opt Options) (map[runKey]Result, error) {
+	type job struct {
+		key runKey
+	}
+	jobs := make(chan job)
+	results := make(map[runKey]Result, len(benches)*len(modes))
+	var mu sync.Mutex
+	var firstErr error
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches)*len(modes) {
+		workers = len(benches) * len(modes)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				o := opt
+				o.Mode = j.key.mode
+				res, err := Run(j.key.bench, o)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[j.key] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, m := range modes {
+			jobs <- job{key: runKey{bench: b, mode: m}}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

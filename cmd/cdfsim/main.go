@@ -1,0 +1,121 @@
+// Command cdfsim runs one benchmark on one machine configuration and prints
+// the full statistics table.
+//
+// Usage:
+//
+//	cdfsim -bench astar -mode cdf -uops 200000
+//	cdfsim -list
+//	cdfsim -print-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdf"
+	"cdf/internal/core"
+	"cdf/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "astar", "benchmark kernel to run (see -list)")
+		mode   = flag.String("mode", "baseline", "machine: baseline | cdf | pre | hybrid")
+		uops   = flag.Uint64("uops", 0, "instructions to simulate (0 = default)")
+		warmup = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
+		rob    = flag.Int("rob", 0, "ROB size override (0 = Table 1's 352; other structures scale)")
+		seed   = flag.Uint64("seed", 1, "wrong-path model seed")
+		noBr   = flag.Bool("no-critical-branches", false, "disable hard-to-predict branch marking (ablation)")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+		prtCfg = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
+		traceN = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
+	)
+	flag.Parse()
+
+	if *prtCfg {
+		fmt.Print(cdf.Table1Config())
+		return
+	}
+	if *list {
+		for _, b := range cdf.Benchmarks() {
+			fmt.Printf("%-12s %-16s expect=%-8s %s\n", b.Name, b.SPEC, b.Expect, b.Phenotype)
+		}
+		return
+	}
+
+	opt := cdf.Options{MaxUops: *uops, WarmupUops: *warmup, ROBSize: *rob, Seed: *seed}
+	switch *mode {
+	case "baseline":
+		opt.Mode = cdf.ModeBaseline
+	case "cdf":
+		opt.Mode = cdf.ModeCDF
+	case "pre":
+		opt.Mode = cdf.ModePRE
+	case "hybrid":
+		opt.Mode = cdf.ModeHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "cdfsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *noBr {
+		off := false
+		opt.MarkCriticalBranches = &off
+	}
+
+	if *traceN > 0 {
+		runTraced(*bench, opt, *traceN)
+		return
+	}
+
+	res, err := cdf.Run(*bench, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark   %s (%s)\n", res.Benchmark, *mode)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("uops        %d\n", res.Uops)
+	fmt.Printf("ipc         %.4f\n", res.IPC)
+	fmt.Printf("mlp         %.2f\n", res.MLP)
+	fmt.Printf("mem traffic %d lines\n", res.MemTraffic)
+	fmt.Printf("energy      %.4e pJ (area %.3fx, cdf share %.1f%%)\n",
+		res.EnergyPJ, res.AreaRel, 100*res.CDFAreaFrac)
+	fmt.Println()
+	for _, m := range res.Metrics {
+		fmt.Printf("  %-28s %14.3f\n", m.Name, m.Value)
+	}
+}
+
+// runTraced runs the benchmark with a pipeline tracer attached and prints
+// the first n events.
+func runTraced(bench string, opt cdf.Options, n int) {
+	w, err := workload.ByName(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		os.Exit(1)
+	}
+	p, m := w.Build()
+	cfg := core.Default()
+	cfg.Mode = core.Mode(opt.Mode)
+	cfg.MaxRetired = opt.MaxUops
+	if cfg.MaxRetired == 0 {
+		cfg.MaxRetired = cdf.DefaultMaxUops
+	}
+	cfg.MaxCycles = cfg.MaxRetired * 100
+	if opt.ROBSize > 0 {
+		cfg = core.ScaleWindow(cfg, opt.ROBSize)
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	c, err := core.New(cfg, p, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		os.Exit(1)
+	}
+	tr := &core.TextTracer{W: os.Stdout, MaxEvents: n}
+	c.SetTracer(tr)
+	c.Run()
+}

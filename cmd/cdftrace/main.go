@@ -1,0 +1,83 @@
+// Command cdftrace inspects workloads: it disassembles a kernel, runs its
+// functional emulation, and dumps a window of the dynamic uop stream with
+// the criticality marks the CDF machinery assigns (after a training run).
+//
+// Usage:
+//
+//	cdftrace -bench astar -disasm
+//	cdftrace -bench astar -dyn 64 -skip 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdf/internal/core"
+	"cdf/internal/emu"
+	"cdf/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "astar", "benchmark kernel")
+		disasm = flag.Bool("disasm", false, "print the kernel's static program")
+		dyn    = flag.Int("dyn", 32, "number of dynamic uops to dump")
+		skip   = flag.Uint64("skip", 20000, "dynamic uops to skip before dumping")
+		train  = flag.Uint64("train", 60000, "uops of CDF training before reading criticality marks")
+	)
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdftrace:", err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		p, _ := w.Build()
+		fmt.Print(p.String())
+		return
+	}
+
+	// Train the CDF machinery so the Critical Uop Cache holds this
+	// kernel's traces, then read the masks out for annotation.
+	p, m := w.Build()
+	cfg := core.Default()
+	cfg.Mode = core.ModeCDF
+	cfg.MaxRetired = *train
+	cfg.MaxCycles = *train * 100
+	c, err := core.New(cfg, p, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdftrace:", err)
+		os.Exit(1)
+	}
+	c.Run()
+	cuc := c.UopCache()
+
+	// Fresh functional emulation for the dynamic dump.
+	p2, m2 := w.Build()
+	em := emu.New(p2, m2)
+	var d emu.DynUop
+	for i := uint64(0); i < *skip; i++ {
+		if !em.Step(&d) {
+			fmt.Fprintln(os.Stderr, "cdftrace: program ended during skip")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("; dynamic stream of %q from uop %d (crit = in the Critical Uop Cache mask)\n", *bench, *skip)
+	for i := 0; i < *dyn && em.Step(&d); i++ {
+		mark := " "
+		if tr, ok := cuc.Probe(p2.BlockPC(d.BlockID)); ok && d.Index < 64 && tr.Mask&(1<<uint(d.Index)) != 0 {
+			mark = "*"
+		}
+		extra := ""
+		if d.U.Op.IsMem() {
+			extra = fmt.Sprintf("  addr=%#x", d.Addr)
+		}
+		if d.U.Op.IsBranch() {
+			extra = fmt.Sprintf("  taken=%v", d.Taken)
+		}
+		fmt.Printf("%8d %s B%-3d[%2d] %-24s%s\n", d.Seq, mark, d.BlockID, d.Index, d.U.String(), extra)
+	}
+}

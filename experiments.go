@@ -1,0 +1,350 @@
+package cdf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cdf/internal/core"
+)
+
+// SuiteOptions configures a whole-suite experiment.
+type SuiteOptions struct {
+	// Benchmarks restricts the suite (nil = all kernels).
+	Benchmarks []string
+	// MaxUops per run (0 = DefaultMaxUops).
+	MaxUops uint64
+	// WarmupUops per run, excluded from statistics.
+	WarmupUops uint64
+	// Seed for the deterministic wrong-path models.
+	Seed uint64
+}
+
+func (o SuiteOptions) benches() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	var names []string
+	for _, b := range Benchmarks() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+func (o SuiteOptions) runOptions() Options {
+	return Options{MaxUops: o.MaxUops, WarmupUops: o.WarmupUops, Seed: o.Seed}
+}
+
+// Geomean returns the geometric mean of vs (which must be positive).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// --- Table 1 ---
+
+// Table1Config renders the simulated machine configuration (the paper's
+// Table 1).
+func Table1Config() string {
+	cfg := core.Default()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Core      3.2 GHz, %d-wide issue, TAGE predictor\n", cfg.Width)
+	fmt.Fprintf(&sb, "          %d Entry ROB, %d Entry Reservation Station\n", cfg.ROBSize, cfg.RSSize)
+	fmt.Fprintf(&sb, "          %d Entry Load & %d Entry Store Queues, %d PRF\n", cfg.LQSize, cfg.SQSize, cfg.PRFSize)
+	fmt.Fprintf(&sb, "Caches    %dKB %d-way L1 I-cache & D-cache, %d-cycle access\n",
+		cfg.Mem.L1DSizeBytes/1024, cfg.Mem.L1DWays, cfg.Mem.L1DLatency)
+	fmt.Fprintf(&sb, "          %dMB %d-way LLC cache, %d-cycle access, %dB lines\n",
+		cfg.Mem.LLCSizeBytes/1024/1024, cfg.Mem.LLCWays, cfg.Mem.LLCLatency, cfg.Mem.LineBytes)
+	fmt.Fprintf(&sb, "Prefetch  Stream Prefetcher, %d Streams (always on), FDP throttling\n",
+		cfg.Mem.Prefetch.Streams)
+	fmt.Fprintf(&sb, "Memory    DDR4_2400R-class: %d channels, %d bank groups x %d banks\n",
+		cfg.Mem.DRAM.Channels, cfg.Mem.DRAM.BankGroups, cfg.Mem.DRAM.BanksPerGroup)
+	fmt.Fprintf(&sb, "          tRP-tCL-tRCD: %d-%d-%d CPU cycles\n",
+		cfg.Mem.DRAM.TRP, cfg.Mem.DRAM.TCL, cfg.Mem.DRAM.TRCD)
+	fmt.Fprintf(&sb, "CDF       %d-entry %d-way Critical Count Tables\n", cfg.CDF.CCTEntries, cfg.CDF.CCTWays)
+	fmt.Fprintf(&sb, "          %dKB %d-way Mask Cache\n", cfg.CDF.MaskEntries*8/1024, cfg.CDF.MaskWays)
+	fmt.Fprintf(&sb, "          %dKB %d-way Critical Uop Cache, %d uops per entry\n",
+		cfg.CDF.CUCLines*64/1024, cfg.CDF.CUCWays, cfg.CDF.CUCLineUops)
+	fmt.Fprintf(&sb, "          %d-entry Fill Buffer, %d-entry Delayed Branch Queue, %d-entry Critical Map Queue\n",
+		cfg.CDF.FillBufferSize, cfg.CDF.DBQSize, cfg.CDF.CMQSize)
+	return sb.String()
+}
+
+// --- Fig. 1 ---
+
+// Fig1Row is one bar of Fig. 1: the split of ROB entries between critical
+// and non-critical uops during full-window stalls on the baseline core.
+type Fig1Row struct {
+	Benchmark       string
+	CriticalFrac    float64
+	NonCriticalFrac float64
+	StallCycles     uint64
+}
+
+// Fig1ROBOccupancy reproduces Fig. 1 on the baseline core with observe-only
+// criticality marking.
+func Fig1ROBOccupancy(o SuiteOptions) ([]Fig1Row, error) {
+	benches := o.benches()
+	opt := o.runOptions()
+	opt.TrainCriticality = true
+	results, err := runSet(benches, []Mode{ModeBaseline}, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig1Row, 0, len(benches))
+	for _, b := range benches {
+		r := results[runKey{b, ModeBaseline}]
+		rows = append(rows, Fig1Row{
+			Benchmark:       b,
+			CriticalFrac:    r.StallROBCritFrac,
+			NonCriticalFrac: 1 - r.StallROBCritFrac,
+			StallCycles:     r.FullWindowStallCycles,
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 13 ---
+
+// Fig13Row is one benchmark's bars in Fig. 13: percentage IPC improvement
+// of CDF and PRE over the baseline.
+type Fig13Row struct {
+	Benchmark  string
+	CDFSpeedup float64 // e.g. 1.061 = +6.1%
+	PRESpeedup float64
+}
+
+// Fig13Speedup reproduces Fig. 13: per-benchmark CDF and PRE speedups over
+// the baseline-with-prefetching core. Append GeomeanRow for the summary
+// bars.
+func Fig13Speedup(o SuiteOptions) ([]Fig13Row, error) {
+	benches := o.benches()
+	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig13Row, 0, len(benches))
+	for _, b := range benches {
+		base := results[runKey{b, ModeBaseline}]
+		rows = append(rows, Fig13Row{
+			Benchmark:  b,
+			CDFSpeedup: results[runKey{b, ModeCDF}].IPC / base.IPC,
+			PRESpeedup: results[runKey{b, ModePRE}].IPC / base.IPC,
+		})
+	}
+	return rows, nil
+}
+
+// Fig13Geomean returns the suite geomean speedups (the paper's headline:
+// CDF 6.1%, PRE 2.6%).
+func Fig13Geomean(rows []Fig13Row) (cdfGeo, preGeo float64) {
+	var cs, ps []float64
+	for _, r := range rows {
+		cs = append(cs, r.CDFSpeedup)
+		ps = append(ps, r.PRESpeedup)
+	}
+	return Geomean(cs), Geomean(ps)
+}
+
+// --- Fig. 14 ---
+
+// Fig14Row is one benchmark's bars in Fig. 14: MLP relative to baseline.
+type Fig14Row struct {
+	Benchmark string
+	CDFMLPRel float64
+	PREMLPRel float64
+}
+
+// Fig14MLP reproduces Fig. 14: memory-level parallelism of CDF and PRE
+// relative to the baseline. The paper's point: PRE's MLP gains include
+// wrong-path loads that do not convert to speedup, while CDF's convert.
+func Fig14MLP(o SuiteOptions) ([]Fig14Row, error) {
+	benches := o.benches()
+	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig14Row, 0, len(benches))
+	for _, b := range benches {
+		base := results[runKey{b, ModeBaseline}]
+		if base.MLP == 0 {
+			rows = append(rows, Fig14Row{Benchmark: b, CDFMLPRel: 1, PREMLPRel: 1})
+			continue
+		}
+		rows = append(rows, Fig14Row{
+			Benchmark: b,
+			CDFMLPRel: results[runKey{b, ModeCDF}].MLP / base.MLP,
+			PREMLPRel: results[runKey{b, ModePRE}].MLP / base.MLP,
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 15 ---
+
+// Fig15Row is one benchmark's bars in Fig. 15: DRAM traffic relative to
+// baseline.
+type Fig15Row struct {
+	Benchmark     string
+	CDFTrafficRel float64
+	PRETrafficRel float64
+}
+
+// Fig15Traffic reproduces Fig. 15: memory traffic relative to the baseline
+// (the paper reports CDF generating 4% less extra traffic than PRE).
+func Fig15Traffic(o SuiteOptions) ([]Fig15Row, error) {
+	benches := o.benches()
+	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig15Row, 0, len(benches))
+	for _, b := range benches {
+		base := float64(results[runKey{b, ModeBaseline}].MemTraffic)
+		if base == 0 {
+			base = 1
+		}
+		rows = append(rows, Fig15Row{
+			Benchmark:     b,
+			CDFTrafficRel: float64(results[runKey{b, ModeCDF}].MemTraffic) / base,
+			PRETrafficRel: float64(results[runKey{b, ModePRE}].MemTraffic) / base,
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 16 ---
+
+// Fig16Row is one benchmark's bars in Fig. 16: energy relative to baseline.
+type Fig16Row struct {
+	Benchmark    string
+	CDFEnergyRel float64
+	PREEnergyRel float64
+}
+
+// Fig16Energy reproduces Fig. 16: energy consumption relative to the
+// baseline (the paper: CDF −3.5%, PRE +3.7%).
+func Fig16Energy(o SuiteOptions) ([]Fig16Row, error) {
+	benches := o.benches()
+	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig16Row, 0, len(benches))
+	for _, b := range benches {
+		base := results[runKey{b, ModeBaseline}].EnergyPJ
+		rows = append(rows, Fig16Row{
+			Benchmark:    b,
+			CDFEnergyRel: results[runKey{b, ModeCDF}].EnergyPJ / base,
+			PREEnergyRel: results[runKey{b, ModePRE}].EnergyPJ / base,
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 17 ---
+
+// Fig17Row is one ROB configuration's points in Fig. 17: IPC and energy of
+// the baseline and CDF cores, relative to the 352-entry baseline, with the
+// other window structures scaled proportionally.
+type Fig17Row struct {
+	ROBSize           int
+	BaselineIPCRel    float64
+	CDFIPCRel         float64
+	BaselineEnergyRel float64
+	CDFEnergyRel      float64
+}
+
+// DefaultFig17Sizes are the window scaling points.
+var DefaultFig17Sizes = []int{192, 256, 352, 512, 768}
+
+// Fig17Scaling reproduces Fig. 17: CDF and baseline cores at different ROB
+// sizes. All values are geomeans over the suite, relative to the 352-entry
+// baseline.
+func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
+	if len(robSizes) == 0 {
+		robSizes = DefaultFig17Sizes
+	}
+	benches := o.benches()
+
+	// Reference: Table 1 baseline.
+	refOpt := o.runOptions()
+	ref, err := runSet(benches, []Mode{ModeBaseline}, refOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig17Row
+	for _, rob := range robSizes {
+		opt := o.runOptions()
+		opt.ROBSize = rob
+		results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, opt)
+		if err != nil {
+			return nil, err
+		}
+		var bIPC, cIPC, bEn, cEn []float64
+		for _, b := range benches {
+			r0 := ref[runKey{b, ModeBaseline}]
+			rb := results[runKey{b, ModeBaseline}]
+			rc := results[runKey{b, ModeCDF}]
+			bIPC = append(bIPC, rb.IPC/r0.IPC)
+			cIPC = append(cIPC, rc.IPC/r0.IPC)
+			bEn = append(bEn, rb.EnergyPJ/r0.EnergyPJ)
+			cEn = append(cEn, rc.EnergyPJ/r0.EnergyPJ)
+		}
+		rows = append(rows, Fig17Row{
+			ROBSize:           rob,
+			BaselineIPCRel:    Geomean(bIPC),
+			CDFIPCRel:         Geomean(cIPC),
+			BaselineEnergyRel: Geomean(bEn),
+			CDFEnergyRel:      Geomean(cEn),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ROBSize < rows[j].ROBSize })
+	return rows, nil
+}
+
+// --- §4.2 ablation ---
+
+// AblationRow compares full CDF against CDF without critical-branch marking
+// for one benchmark.
+type AblationRow struct {
+	Benchmark           string
+	CDFSpeedup          float64
+	NoCritBranchSpeedup float64
+}
+
+// AblationNoCriticalBranches reproduces the §4.2 ablation: disabling
+// hard-to-predict-branch marking drops the geomean speedup (6.1% → 3.8% in
+// the paper), with astar/bzip/mcf/soplex affected most.
+func AblationNoCriticalBranches(o SuiteOptions) ([]AblationRow, error) {
+	benches := o.benches()
+	base, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	off := false
+	noBr := o.runOptions()
+	noBr.MarkCriticalBranches = &off
+	noBrRes, err := runSet(benches, []Mode{ModeCDF}, noBr)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(benches))
+	for _, b := range benches {
+		b0 := base[runKey{b, ModeBaseline}]
+		rows = append(rows, AblationRow{
+			Benchmark:           b,
+			CDFSpeedup:          base[runKey{b, ModeCDF}].IPC / b0.IPC,
+			NoCritBranchSpeedup: noBrRes[runKey{b, ModeCDF}].IPC / b0.IPC,
+		})
+	}
+	return rows, nil
+}

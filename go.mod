@@ -1,0 +1,3 @@
+module cdf
+
+go 1.23

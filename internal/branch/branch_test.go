@@ -1,0 +1,307 @@
+package branch
+
+import (
+	"testing"
+
+	"cdf/internal/isa"
+)
+
+func TestTageHistoryLengthsGeometric(t *testing.T) {
+	tg := NewTage(DefaultTage())
+	ls := tg.HistoryLengths()
+	if len(ls) != DefaultTage().NumTables {
+		t.Fatalf("got %d lengths", len(ls))
+	}
+	if ls[0] != DefaultTage().MinHist {
+		t.Errorf("first length %d, want %d", ls[0], DefaultTage().MinHist)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatalf("lengths not strictly increasing: %v", ls)
+		}
+	}
+	if last := ls[len(ls)-1]; last < DefaultTage().MaxHist/2 {
+		t.Errorf("last length %d too short for MaxHist %d", last, DefaultTage().MaxHist)
+	}
+}
+
+// trainTage runs a direction sequence through predict/update and returns
+// the accuracy over the last half (after warmup).
+func trainTage(t *testing.T, pc uint64, seq func(i int) bool, n int) float64 {
+	t.Helper()
+	tg := NewTage(DefaultTage())
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		taken := seq(i)
+		info := tg.Predict(pc)
+		if i >= n/2 {
+			counted++
+			if info.Pred == taken {
+				correct++
+			}
+		}
+		tg.Update(pc, taken, info)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestTageLearnsBias(t *testing.T) {
+	// Always-taken must be near-perfect.
+	if acc := trainTage(t, 0x400100, func(i int) bool { return true }, 2000); acc < 0.99 {
+		t.Errorf("always-taken accuracy %.3f", acc)
+	}
+}
+
+func TestTageLearnsAlternating(t *testing.T) {
+	// Period-2 pattern is trivially history-predictable.
+	if acc := trainTage(t, 0x400100, func(i int) bool { return i%2 == 0 }, 4000); acc < 0.95 {
+		t.Errorf("alternating accuracy %.3f", acc)
+	}
+}
+
+func TestTageLearnsLoopPattern(t *testing.T) {
+	// Taken 15 times, not-taken once (a 16-iteration loop exit): TAGE's
+	// history tables should get most exits right.
+	if acc := trainTage(t, 0x400100, func(i int) bool { return i%16 != 15 }, 16000); acc < 0.93 {
+		t.Errorf("loop-16 accuracy %.3f", acc)
+	}
+}
+
+func TestTageCannotLearnRandom(t *testing.T) {
+	rng := uint64(12345)
+	rand := func(i int) bool {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng&1 == 0
+	}
+	acc := trainTage(t, 0x400100, rand, 8000)
+	if acc > 0.65 {
+		t.Errorf("random-sequence accuracy %.3f is implausibly high", acc)
+	}
+}
+
+func TestTageSeparatesBranches(t *testing.T) {
+	// Two branches with opposite biases must not destructively alias.
+	tg := NewTage(DefaultTage())
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		for pc, taken := range map[uint64]bool{0x400100: true, 0x400900: false} {
+			info := tg.Predict(pc)
+			if i > 1000 {
+				total++
+				if info.Pred == taken {
+					correct++
+				}
+			}
+			tg.Update(pc, taken, info)
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.98 {
+		t.Errorf("two-branch accuracy %.3f", acc)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	btb := NewBTB(DefaultBTB())
+	if _, hit := btb.Lookup(0x1000); hit {
+		t.Fatal("empty BTB should miss")
+	}
+	btb.Update(0x1000, 0x2000)
+	if tgt, hit := btb.Lookup(0x1000); !hit || tgt != 0x2000 {
+		t.Fatalf("lookup = (%#x, %v)", tgt, hit)
+	}
+	// Update replaces the target.
+	btb.Update(0x1000, 0x3000)
+	if tgt, _ := btb.Lookup(0x1000); tgt != 0x3000 {
+		t.Fatal("update should replace target")
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	cfg := BTBConfig{Entries: 8, Ways: 2} // 4 sets
+	btb := NewBTB(cfg)
+	// Fill one set with 3 conflicting entries (stride = sets*8 in PC).
+	pcs := []uint64{0x1000, 0x1000 + 4*8, 0x1000 + 8*8}
+	for _, pc := range pcs {
+		btb.Update(pc, pc+8)
+	}
+	hits := 0
+	for _, pc := range pcs {
+		if _, hit := btb.Lookup(pc); hit {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("expected exactly 2 survivors in a 2-way set, got %d", hits)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	ras := NewRAS(4)
+	if _, ok := ras.Pop(); ok {
+		t.Fatal("empty RAS should underflow")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		ras.Push(i * 100)
+	}
+	for i := uint64(3); i >= 1; i-- {
+		got, ok := ras.Pop()
+		if !ok || got != i*100 {
+			t.Fatalf("pop = (%d, %v), want %d", got, ok, i*100)
+		}
+	}
+	// Overflow keeps the newest entries.
+	for i := uint64(1); i <= 6; i++ {
+		ras.Push(i)
+	}
+	if got, _ := ras.Pop(); got != 6 {
+		t.Fatalf("after overflow, top = %d, want 6", got)
+	}
+	if ras.Overflows == 0 {
+		t.Fatal("overflow not counted")
+	}
+}
+
+func TestPredictorCondFlow(t *testing.T) {
+	p := NewPredictor()
+	pc := uint64(0x400100)
+	// Train an always-taken conditional with target 0x5000.
+	for i := 0; i < 500; i++ {
+		pr := p.Predict(isa.OpBeq, pc, 0)
+		if !pr.Cond {
+			t.Fatal("conditional branch must set Cond")
+		}
+		p.Update(isa.OpBeq, pc, true, 0x5000, pr)
+	}
+	pr := p.Predict(isa.OpBeq, pc, 0)
+	if !pr.Taken {
+		t.Fatal("should predict taken after training")
+	}
+	if !pr.TargetHit || pr.Target != 0x5000 {
+		t.Fatalf("target = (%#x, %v)", pr.Target, pr.TargetHit)
+	}
+	if p.CondPredicts == 0 {
+		t.Fatal("prediction counter not incremented")
+	}
+}
+
+func TestPredictorCallRet(t *testing.T) {
+	p := NewPredictor()
+	// A call pushes its continuation; the matching return predicts it.
+	prCall := p.Predict(isa.OpCall, 0x400100, 0x400108)
+	if !prCall.Taken {
+		t.Fatal("call must be predicted taken")
+	}
+	prRet := p.Predict(isa.OpRet, 0x400200, 0)
+	if !prRet.TargetHit || prRet.Target != 0x400108 {
+		t.Fatalf("return target = (%#x, %v), want 0x400108", prRet.Target, prRet.TargetHit)
+	}
+}
+
+func TestPredictorJmpUsesBTB(t *testing.T) {
+	p := NewPredictor()
+	pr := p.Predict(isa.OpJmp, 0x400100, 0)
+	if pr.TargetHit {
+		t.Fatal("cold jump should miss the BTB")
+	}
+	p.Update(isa.OpJmp, 0x400100, true, 0x7000, pr)
+	pr = p.Predict(isa.OpJmp, 0x400100, 0)
+	if !pr.TargetHit || pr.Target != 0x7000 {
+		t.Fatalf("trained jump target = (%#x, %v)", pr.Target, pr.TargetHit)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	lp := NewLoopPredictor(64, 4)
+	pc := uint64(0x400100)
+	// A 10-trip loop: 9 taken, 1 not-taken, repeated.
+	trip := 10
+	correct, total := 0, 0
+	for iter := 0; iter < 40; iter++ {
+		for i := 0; i < trip; i++ {
+			taken := i < trip-1
+			if pred, ok := lp.Predict(pc); ok {
+				total++
+				if pred == taken {
+					correct++
+				}
+			}
+			lp.Update(pc, taken)
+		}
+	}
+	if total == 0 {
+		t.Fatal("loop predictor never became confident")
+	}
+	if correct != total {
+		t.Fatalf("confident loop predictions wrong: %d/%d", correct, total)
+	}
+}
+
+func TestLoopPredictorIgnoresIrregular(t *testing.T) {
+	lp := NewLoopPredictor(64, 4)
+	pc := uint64(0x400200)
+	rng := uint64(5)
+	for i := 0; i < 2000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if _, ok := lp.Predict(pc); ok {
+			// Confidence on random directions should be extremely rare and
+			// short-lived; a handful of overrides is tolerable.
+			if lp.Overrides > 50 {
+				t.Fatalf("%d overrides on a random branch", lp.Overrides)
+			}
+		}
+		lp.Update(pc, rng&1 == 0)
+	}
+}
+
+func TestLoopPredictorRelearnsChangedTrip(t *testing.T) {
+	lp := NewLoopPredictor(64, 4)
+	pc := uint64(0x400300)
+	run := func(trip, iters int) (correct, total int) {
+		for it := 0; it < iters; it++ {
+			for i := 0; i < trip; i++ {
+				taken := i < trip-1
+				if pred, ok := lp.Predict(pc); ok {
+					total++
+					if pred == taken {
+						correct++
+					}
+				}
+				lp.Update(pc, taken)
+			}
+		}
+		return
+	}
+	run(8, 20)
+	c, tot := run(13, 40) // trip count changes: must relearn
+	if tot == 0 {
+		t.Fatal("never relearned the new trip count")
+	}
+	if float64(c)/float64(tot) < 0.9 {
+		t.Fatalf("post-change accuracy %d/%d", c, tot)
+	}
+}
+
+func TestPredictorLongLoopExitAccuracy(t *testing.T) {
+	// A 200-trip loop is beyond TAGE's useful history; the loop predictor
+	// must nail the exits.
+	p := NewPredictor()
+	pc := uint64(0x400400)
+	exitWrong := 0
+	for iter := 0; iter < 60; iter++ {
+		for i := 0; i < 200; i++ {
+			taken := i < 199
+			pr := p.Predict(isa.OpBne, pc, 0)
+			if iter > 20 && !taken && pr.Taken {
+				exitWrong++
+			}
+			p.Update(isa.OpBne, pc, taken, 0x400500, pr)
+		}
+	}
+	if exitWrong > 3 {
+		t.Fatalf("mispredicted %d/39 trained loop exits", exitWrong)
+	}
+}

@@ -1,0 +1,298 @@
+// Package branch implements the frontend's branch prediction: a TAGE
+// conditional predictor (the paper baselines on TAGE-SC-L; we implement the
+// TAGE component, which sets per-branch predictability classes — the SC/L
+// correctors are omitted and documented in DESIGN.md), a branch target
+// buffer, and a return address stack.
+package branch
+
+import (
+	"fmt"
+	"math"
+)
+
+// TageConfig sizes the TAGE predictor.
+type TageConfig struct {
+	BimodalBits uint // log2 entries of the base bimodal table
+	NumTables   int  // tagged components
+	TableBits   uint // log2 entries per tagged table
+	TagBits     uint
+	MinHist     int // shortest history length
+	MaxHist     int // longest history length (geometric in between)
+	CounterBits uint
+	UsefulReset uint64 // period (updates) for graceful useful-bit aging
+}
+
+// DefaultTage returns a 64Kb-class TAGE configuration.
+func DefaultTage() TageConfig {
+	return TageConfig{
+		BimodalBits: 13,
+		NumTables:   8,
+		TableBits:   10,
+		TagBits:     9,
+		MinHist:     4,
+		MaxHist:     256,
+		CounterBits: 3,
+		UsefulReset: 1 << 18,
+	}
+}
+
+type tageEntry struct {
+	tag    uint32
+	ctr    int8 // signed saturating counter, taken when >= 0
+	useful uint8
+}
+
+// PredInfo carries the lookup state needed for a correct TAGE update.
+type PredInfo struct {
+	provider  int  // table index of provider, -1 for bimodal
+	altPred   bool // alternate prediction
+	provPred  bool // provider prediction
+	provIdx   uint32
+	provTag   uint32
+	indices   []uint32
+	tags      []uint32
+	bimodalIx uint32
+	Pred      bool // final prediction
+}
+
+// Tage is the conditional-direction predictor.
+type Tage struct {
+	cfg      TageConfig
+	bimodal  []int8
+	tables   [][]tageEntry
+	histLens []int
+	// ghist is the folded global history per table (index and tag folds).
+	ghist    []uint64 // raw history bits, as a shift register in words
+	histBits int
+	updates  uint64
+
+	// Counters.
+	Lookups     uint64
+	ProviderHit uint64
+	Allocs      uint64
+}
+
+// NewTage builds a TAGE predictor.
+func NewTage(cfg TageConfig) *Tage {
+	if cfg.NumTables <= 0 || cfg.MinHist <= 0 || cfg.MaxHist < cfg.MinHist {
+		panic(fmt.Sprintf("branch: invalid TAGE config %+v", cfg))
+	}
+	t := &Tage{
+		cfg:     cfg,
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		tables:  make([][]tageEntry, cfg.NumTables),
+	}
+	// Geometric history lengths between MinHist and MaxHist.
+	t.histLens = make([]int, cfg.NumTables)
+	ratio := 1.0
+	if cfg.NumTables > 1 {
+		ratio = pow(float64(cfg.MaxHist)/float64(cfg.MinHist), 1.0/float64(cfg.NumTables-1))
+	}
+	l := float64(cfg.MinHist)
+	for i := range t.histLens {
+		t.histLens[i] = int(l + 0.5)
+		if i > 0 && t.histLens[i] <= t.histLens[i-1] {
+			t.histLens[i] = t.histLens[i-1] + 1
+		}
+		l *= ratio
+	}
+	t.histBits = t.histLens[cfg.NumTables-1]
+	t.ghist = make([]uint64, (t.histBits+63)/64+1)
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
+	}
+	return t
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// HistoryLengths returns the per-table history lengths (for tests).
+func (t *Tage) HistoryLengths() []int { return append([]int(nil), t.histLens...) }
+
+// foldHistory folds the low histLen bits of global history into bits bits.
+func (t *Tage) foldHistory(histLen, bits int) uint64 {
+	var folded uint64
+	for b := 0; b < histLen; b += bits {
+		n := bits
+		if b+n > histLen {
+			n = histLen - b
+		}
+		folded ^= t.histBitsAt(b, n)
+	}
+	return folded & maskBits(bits)
+}
+
+// histBitsAt extracts n history bits starting at position pos (0 = newest).
+func (t *Tage) histBitsAt(pos, n int) uint64 {
+	word, off := pos/64, pos%64
+	v := t.ghist[word] >> uint(off)
+	if off+n > 64 {
+		v |= t.ghist[word+1] << uint(64-off)
+	}
+	return v & maskBits(n)
+}
+
+func maskBits(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+func (t *Tage) index(pc uint64, table int) uint32 {
+	h := t.foldHistory(t.histLens[table], int(t.cfg.TableBits))
+	v := (pc >> 2) ^ (pc >> (uint(t.cfg.TableBits) + 2)) ^ h ^ uint64(table)*0x9E3779B9
+	return uint32(v & maskBits(int(t.cfg.TableBits)))
+}
+
+func (t *Tage) tag(pc uint64, table int) uint32 {
+	h := t.foldHistory(t.histLens[table], int(t.cfg.TagBits))
+	h2 := t.foldHistory(t.histLens[table], int(t.cfg.TagBits)-1)
+	v := (pc >> 2) ^ h ^ (h2 << 1)
+	return uint32(v & maskBits(int(t.cfg.TagBits)))
+}
+
+func (t *Tage) bimodalIndex(pc uint64) uint32 {
+	return uint32((pc >> 2) & maskBits(int(t.cfg.BimodalBits)))
+}
+
+// Predict returns the predicted direction for the conditional branch at pc
+// along with the state needed by Update.
+func (t *Tage) Predict(pc uint64) PredInfo {
+	t.Lookups++
+	info := PredInfo{
+		provider:  -1,
+		indices:   make([]uint32, t.cfg.NumTables),
+		tags:      make([]uint32, t.cfg.NumTables),
+		bimodalIx: t.bimodalIndex(pc),
+	}
+	bim := t.bimodal[info.bimodalIx] >= 0
+	pred, alt := bim, bim
+	for i := 0; i < t.cfg.NumTables; i++ {
+		info.indices[i] = t.index(pc, i)
+		info.tags[i] = t.tag(pc, i)
+	}
+	// Longest history match provides; next longest is the alternate.
+	for i := t.cfg.NumTables - 1; i >= 0; i-- {
+		e := &t.tables[i][info.indices[i]]
+		if e.tag == info.tags[i] {
+			if info.provider < 0 {
+				info.provider = i
+				info.provIdx = info.indices[i]
+				info.provTag = info.tags[i]
+				pred = e.ctr >= 0
+			} else {
+				alt = e.ctr >= 0
+				break
+			}
+		}
+	}
+	if info.provider >= 0 {
+		t.ProviderHit++
+		info.provPred = pred
+		// Weak provider entries defer to the alternate prediction
+		// (newly-allocated entries are unreliable).
+		e := &t.tables[info.provider][info.provIdx]
+		if (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+			pred = alt
+		}
+	}
+	info.altPred = alt
+	info.Pred = pred
+	return info
+}
+
+// Update trains the predictor with the resolved outcome and then shifts the
+// global history. Callers must invoke it exactly once per predicted branch,
+// in program order.
+func (t *Tage) Update(pc uint64, taken bool, info PredInfo) {
+	t.updates++
+	correct := info.Pred == taken
+
+	if info.provider >= 0 {
+		e := &t.tables[info.provider][info.provIdx]
+		if e.tag == info.provTag {
+			e.ctr = satUpdate(e.ctr, taken, int(t.cfg.CounterBits))
+			if info.provPred != info.altPred {
+				if info.provPred == taken {
+					if e.useful < 3 {
+						e.useful++
+					}
+				} else if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	} else {
+		t.bimodal[info.bimodalIx] = satUpdate(t.bimodal[info.bimodalIx], taken, 2)
+	}
+
+	// Allocate a new entry in a longer-history table on a misprediction.
+	if !correct && info.provider < t.cfg.NumTables-1 {
+		start := info.provider + 1
+		allocated := false
+		for i := start; i < t.cfg.NumTables; i++ {
+			e := &t.tables[i][info.indices[i]]
+			if e.useful == 0 {
+				e.tag = info.tags[i]
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				e.useful = 0
+				t.Allocs++
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay useful bits along the allocation path.
+			for i := start; i < t.cfg.NumTables; i++ {
+				e := &t.tables[i][info.indices[i]]
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	}
+
+	// Periodic graceful reset of useful bits.
+	if t.cfg.UsefulReset > 0 && t.updates%t.cfg.UsefulReset == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].useful >>= 1
+			}
+		}
+	}
+
+	t.shiftHistory(taken)
+}
+
+// shiftHistory pushes one outcome bit into the global history register.
+func (t *Tage) shiftHistory(taken bool) {
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := range t.ghist {
+		next := t.ghist[i] >> 63
+		t.ghist[i] = (t.ghist[i] << 1) | carry
+		carry = next
+	}
+}
+
+func satUpdate(c int8, taken bool, bits int) int8 {
+	lo := int8(-(1 << uint(bits-1)))
+	hi := int8(1<<uint(bits-1)) - 1
+	if taken {
+		if c < hi {
+			c++
+		}
+	} else {
+		if c > lo {
+			c--
+		}
+	}
+	return c
+}

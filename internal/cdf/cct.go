@@ -1,0 +1,134 @@
+package cdf
+
+// CountTable is a Critical Count Table (§3.2): a small set-associative table
+// keyed by instruction PC, with two saturating counters per entry — one with
+// a strict threshold, one permissive. Counters increment on a "critical
+// event" (LLC miss for loads, misprediction for branches) and decrement
+// otherwise. Which counter drives prediction is selected dynamically from
+// the measured critical-instruction density.
+type CountTable struct {
+	sets, ways int
+
+	strictMax, strictThresh int
+	permMax, permThresh     int
+	// incStep is the increment applied on a critical event (decrements are
+	// always 1). Loads use 1 — an LLC-missing load misses most of the time
+	// or not at all. Branch counters use a larger step so that branches
+	// mispredicting well below 50% of the time (which is what
+	// "hard-to-predict" means against TAGE) still saturate.
+	incStep int
+
+	entries []cctEntry
+	clock   uint64
+
+	// usePermissive selects the permissive counters for prediction; flipped
+	// by the density controller.
+	usePermissive bool
+
+	Updates     uint64
+	Predictions uint64
+	HitsCrit    uint64
+}
+
+type cctEntry struct {
+	valid  bool
+	tag    uint64
+	strict int
+	perm   int
+	lru    uint64
+}
+
+// NewCountTable builds a count table from the per-kind parameters. incStep
+// is the counter increment on a critical event (see the field doc).
+func NewCountTable(entries, ways, strictMax, strictThresh, permMax, permThresh, incStep int) *CountTable {
+	if incStep <= 0 {
+		incStep = 1
+	}
+	return &CountTable{
+		sets: entries / ways, ways: ways,
+		strictMax: strictMax, strictThresh: strictThresh,
+		permMax: permMax, permThresh: permThresh,
+		incStep: incStep,
+		entries: make([]cctEntry, entries),
+	}
+}
+
+// UsePermissive switches between the strict and permissive counters.
+func (t *CountTable) UsePermissive(p bool) { t.usePermissive = p }
+
+// Permissive reports which counter set drives predictions.
+func (t *CountTable) Permissive() bool { return t.usePermissive }
+
+func (t *CountTable) set(pc uint64) []cctEntry {
+	s := int((pc >> 3) % uint64(t.sets))
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// Update trains the entry for pc: critical=true increments both counters,
+// false decrements. Missing entries are allocated (evicting LRU).
+func (t *CountTable) Update(pc uint64, critical bool) {
+	t.Updates++
+	t.clock++
+	set := t.set(pc)
+	var e *cctEntry
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			e = &set[i]
+			break
+		}
+	}
+	if e == nil {
+		// Only allocate on a critical event; tracking never-critical PCs
+		// wastes the tiny table.
+		if !critical {
+			return
+		}
+		e = &set[0]
+		for i := range set {
+			if !set[i].valid {
+				e = &set[i]
+				break
+			}
+			if set[i].lru < e.lru {
+				e = &set[i]
+			}
+		}
+		*e = cctEntry{valid: true, tag: pc}
+	}
+	e.lru = t.clock
+	if critical {
+		if e.strict += t.incStep; e.strict > t.strictMax {
+			e.strict = t.strictMax
+		}
+		if e.perm += t.incStep; e.perm > t.permMax {
+			e.perm = t.permMax
+		}
+	} else {
+		if e.strict > 0 {
+			e.strict--
+		}
+		if e.perm > 0 {
+			e.perm--
+		}
+	}
+}
+
+// Predict reports whether the instruction at pc is predicted critical.
+func (t *CountTable) Predict(pc uint64) bool {
+	t.Predictions++
+	set := t.set(pc)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == pc {
+			crit := e.strict >= t.strictThresh
+			if t.usePermissive {
+				crit = e.perm >= t.permThresh
+			}
+			if crit {
+				t.HitsCrit++
+			}
+			return crit
+		}
+	}
+	return false
+}

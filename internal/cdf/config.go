@@ -1,0 +1,164 @@
+// Package cdf implements the Criticality Driven Fetch mechanism's hardware
+// structures from §3 of the paper: the Critical Count Tables that predict
+// which loads/branches are critical, the Fill Buffer and its backwards
+// dataflow walk that constructs dependence chains at retire time, the Mask
+// Cache that accumulates per-basic-block criticality masks across control
+// flow paths, the Critical Uop Cache that stores decoded critical uop
+// traces, and the dynamic backend partition controller.
+//
+// The structures are core-agnostic: internal/core wires them into the
+// pipeline.
+package cdf
+
+import "fmt"
+
+// Config sizes the CDF structures (Table 1 values by default).
+type Config struct {
+	// Critical Count Tables (64-entry, 2-way, per Table 1).
+	CCTEntries int
+	CCTWays    int
+
+	// Load criticality counters: two per entry, with different widths and
+	// thresholds (§3.2 — one strict, one permissive).
+	LoadStrictMax    int
+	LoadStrictThresh int
+	LoadPermMax      int
+	LoadPermThresh   int
+
+	// Branch criticality counters (separate table, different thresholds).
+	BranchStrictMax    int
+	BranchStrictThresh int
+	BranchPermMax      int
+	BranchPermThresh   int
+	// BranchMispredictWeight is the counter increment per misprediction
+	// (decrement per correct prediction is 1), so branches mispredicting
+	// more than ~1/(weight+1) of the time saturate as "hard to predict".
+	BranchMispredictWeight int
+
+	// MarkCriticalBranches enables marking hard-to-predict branches
+	// critical (the §4.2 ablation turns this off: geomean drops 6.1%→3.8%).
+	MarkCriticalBranches bool
+
+	// Fill Buffer.
+	FillBufferSize int    // 1024 uops
+	WalkInterval   uint64 // refill/walk epoch in retired uops (10k)
+	WalkBaseLat    uint64 // charged cycles per walk (~1200; §3.2)
+
+	// Mask Cache: 4KB 4-way of 64-bit masks (=512 entries), reset period.
+	MaskEntries       int
+	MaskWays          int
+	MaskResetInterval uint64 // 200k retired uops
+
+	// Critical Uop Cache: 18KB 4-way, 8 uops (8B each) per line.
+	CUCLines    int // total 8-uop lines (18KB / 64B = 288)
+	CUCWays     int
+	CUCLineUops int
+
+	// Density gates for installing a walk's markings (§3.2).
+	MinDensity float64 // <2% -> reject (too sparse to be worth it)
+	MaxDensity float64 // >50% -> reject (CDF cannot skip enough)
+	// DisableDensityGates turns the gates off. The gates exist to keep the
+	// processor out of CDF mode when skipping cannot pay off; Precise
+	// Runahead reuses the marking machinery purely for prefetch chains, so
+	// the core disables them in ModePRE.
+	DisableDensityGates bool
+
+	// DisableMaskCache stops accumulating criticality masks across control
+	// flow paths: each walk's traces carry only that walk's marks. The
+	// paper (§3.6) credits the Mask Cache with keeping register dependence
+	// violations rare; this knob is the ablation for that claim.
+	DisableMaskCache bool
+
+	// DisableDynamicPartition freezes the ROB/LQ/SQ partitions at their
+	// initial skew. §3.5: "the ability to dynamically pick a partition size
+	// significantly improves the performance of CDF" — this knob is that
+	// ablation.
+	DisableDynamicPartition bool
+
+	// RejectKeepsTraces changes density-gate rejection to install traces
+	// flagged NoEnter instead of removing the blocks: CDF mode stays out,
+	// but the hybrid machine's runahead engine can still read the chains.
+	RejectKeepsTraces bool
+
+	// Density band steering counter selection: below Lo prefer permissive
+	// counters, above Hi prefer strict (§3.2 dynamic selection).
+	DensityLo float64
+	DensityHi float64
+
+	// Dynamic partitioning (§3.5).
+	PartitionStallThresh uint64 // full-window-stall cycle imbalance trigger (4)
+	ROBStep              int    // ROB/RS partition increment (8)
+	LSQStep              int    // LQ/SQ partition increment (2)
+
+	// FIFO sizes.
+	DBQSize int // Delayed Branch Queue (256)
+	CMQSize int // Critical Map Queue (256)
+}
+
+// Default returns the paper's Table 1 CDF configuration.
+func Default() Config {
+	return Config{
+		CCTEntries: 64,
+		CCTWays:    2,
+
+		LoadStrictMax:    31,
+		LoadStrictThresh: 24,
+		LoadPermMax:      7,
+		LoadPermThresh:   2,
+
+		BranchStrictMax:        63,
+		BranchStrictThresh:     40,
+		BranchPermMax:          15,
+		BranchPermThresh:       6,
+		BranchMispredictWeight: 20,
+
+		MarkCriticalBranches: true,
+
+		FillBufferSize: 1024,
+		WalkInterval:   10_000,
+		WalkBaseLat:    1200,
+
+		MaskEntries:       512,
+		MaskWays:          4,
+		MaskResetInterval: 200_000,
+
+		CUCLines:    288,
+		CUCWays:     4,
+		CUCLineUops: 8,
+
+		MinDensity: 0.02,
+		MaxDensity: 0.50,
+		DensityLo:  0.05,
+		DensityHi:  0.30,
+
+		PartitionStallThresh: 4,
+		ROBStep:              8,
+		LSQStep:              2,
+
+		DBQSize: 256,
+		CMQSize: 256,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CCTEntries <= 0 || c.CCTWays <= 0 || c.CCTEntries%c.CCTWays != 0 {
+		return fmt.Errorf("cdf: bad CCT geometry %d/%d", c.CCTEntries, c.CCTWays)
+	}
+	if c.FillBufferSize <= 0 || c.WalkInterval == 0 {
+		return fmt.Errorf("cdf: bad fill buffer config")
+	}
+	if c.MaskEntries <= 0 || c.MaskWays <= 0 || c.MaskEntries%c.MaskWays != 0 {
+		return fmt.Errorf("cdf: bad mask cache geometry %d/%d", c.MaskEntries, c.MaskWays)
+	}
+	if c.CUCLines <= 0 || c.CUCWays <= 0 || c.CUCLineUops <= 0 {
+		return fmt.Errorf("cdf: bad critical uop cache geometry")
+	}
+	if c.MinDensity < 0 || c.MaxDensity > 1 || c.MinDensity >= c.MaxDensity {
+		return fmt.Errorf("cdf: bad density gates [%v,%v]", c.MinDensity, c.MaxDensity)
+	}
+	if c.DBQSize <= 0 || c.CMQSize <= 0 {
+		return fmt.Errorf("cdf: bad FIFO sizes")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package cdf
+
+// Partition dynamically splits one backend structure (ROB, LQ, or SQ)
+// between critical and non-critical sections (§3.5). Stall counters for the
+// two sections drive resizing: when one section causes more full-window
+// stall cycles than the other by the configured threshold, its share grows
+// by the structure's step size. Actual resizing is applied gradually — a
+// section shrinks only as its occupancy allows, modelling the paper's
+// "mark the boundary slot and wait for it to empty".
+type Partition struct {
+	Total int // structure capacity
+	Step  int
+	// CritCap is the current capacity of the critical section; the
+	// non-critical section gets Total-CritCap.
+	CritCap int
+	// desired is the target critical capacity the stall counters ask for.
+	desired int
+
+	// MinCrit/MinNonCrit keep both streams alive.
+	MinCrit    int
+	MinNonCrit int
+
+	stallThresh   uint64
+	critStalls    uint64
+	nonCritStalls uint64
+
+	// Frozen pins the partition at its current split (the §3.5 static-
+	// partition ablation).
+	Frozen bool
+
+	Grows   uint64
+	Shrinks uint64
+}
+
+// NewPartition builds a partition over a structure of the given capacity.
+// The initial split is skewed toward the critical section (the paper notes
+// the partitioning is "generally skewed towards a larger critical section").
+func NewPartition(total, step int, stallThresh uint64) *Partition {
+	crit := total * 3 / 4
+	// Each section keeps at least a quarter of the structure: the critical
+	// stream needs window to expose MLP, and the non-critical stream is the
+	// retirement path — starving either collapses throughput (§3.5: "too
+	// small a partition for non-critical instructions will eventually lead
+	// to them bottlenecking execution"; the converse holds for critical).
+	minSide := total / 4
+	if minSide < step {
+		minSide = step
+	}
+	if minSide*2 > total {
+		minSide = total / 2
+	}
+	if crit < minSide {
+		crit = minSide
+	}
+	if crit > total-minSide {
+		crit = total - minSide
+	}
+	return &Partition{
+		Total: total, Step: step, CritCap: crit, desired: crit,
+		MinCrit: minSide, MinNonCrit: minSide, stallThresh: stallThresh,
+	}
+}
+
+// NonCritCap returns the capacity of the non-critical section.
+func (p *Partition) NonCritCap() int { return p.Total - p.CritCap }
+
+// NoteStall records one full-window-stall cycle caused by the given section
+// being full, and resizes when the imbalance crosses the threshold.
+func (p *Partition) NoteStall(critical bool) {
+	if p.Frozen {
+		return
+	}
+	if critical {
+		p.critStalls++
+	} else {
+		p.nonCritStalls++
+	}
+	switch {
+	case p.critStalls >= p.nonCritStalls+p.stallThresh:
+		p.request(p.desired + p.Step)
+		p.critStalls, p.nonCritStalls = 0, 0
+	case p.nonCritStalls >= p.critStalls+p.stallThresh:
+		p.request(p.desired - p.Step)
+		p.critStalls, p.nonCritStalls = 0, 0
+	}
+}
+
+func (p *Partition) request(crit int) {
+	if crit < p.MinCrit {
+		crit = p.MinCrit
+	}
+	if crit > p.Total-p.MinNonCrit {
+		crit = p.Total - p.MinNonCrit
+	}
+	if crit > p.desired {
+		p.Grows++
+	} else if crit < p.desired {
+		p.Shrinks++
+	}
+	p.desired = crit
+}
+
+// Apply moves the actual boundary toward the desired one, constrained by
+// current occupancies (a section cannot shrink below its occupancy: the
+// boundary slot must drain first). Call once per cycle with the live
+// occupancy of each section.
+func (p *Partition) Apply(critOcc, nonCritOcc int) {
+	if p.desired > p.CritCap {
+		// Grow critical: take slots the non-critical section is not using.
+		room := p.NonCritCap() - nonCritOcc
+		grow := p.desired - p.CritCap
+		if grow > room {
+			grow = room
+		}
+		if grow > 0 {
+			p.CritCap += grow
+		}
+	} else if p.desired < p.CritCap {
+		room := p.CritCap - critOcc
+		shrink := p.CritCap - p.desired
+		if shrink > room {
+			shrink = room
+		}
+		if shrink > 0 {
+			p.CritCap -= shrink
+		}
+	}
+}
+
+// SetDesired moves the desired critical capacity directly (CDF mode entry
+// re-skews toward critical; on exit the critical section drains down, §3.6).
+func (p *Partition) SetDesired(crit int) {
+	if p.Frozen {
+		return
+	}
+	if crit < p.MinCrit {
+		crit = p.MinCrit
+	}
+	if crit > p.Total-p.MinNonCrit {
+		crit = p.Total - p.MinNonCrit
+	}
+	p.desired = crit
+}
+
+// Desired returns the target critical capacity (for tests).
+func (p *Partition) Desired() int { return p.desired }

@@ -1,0 +1,900 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cdf/internal/isa"
+	"cdf/internal/stats"
+)
+
+// --- allocation (rename + dispatch, §3.4/§3.5) ---
+
+// allocate runs the Issue logic: it always picks from the critical rename
+// stage first (if present and unblocked), then the regular stage, within
+// the machine width.
+func (c *Core) allocate() {
+	budget := c.cfg.Width
+	if c.cdfOn {
+		budget = c.allocCritical(budget)
+	}
+	c.allocRegular(budget)
+}
+
+// critRSLimit returns the cap on critical uops in the RS; it follows the
+// ROB partition ratio (§3.5: "the number of critical uops in the RS and PRF
+// change with the ROB partition size").
+func (c *Core) critRSLimit() int {
+	if c.robPart == nil {
+		return c.cfg.RSSize
+	}
+	return c.cfg.RSSize * c.robPart.CritCap / c.cfg.ROBSize
+}
+
+func (c *Core) critPRFLimit() int {
+	if c.robPart == nil {
+		return c.cfg.PRFSize
+	}
+	lim := c.cfg.PRFSize * c.robPart.CritCap / c.cfg.ROBSize
+	if lim < 16 {
+		lim = 16
+	}
+	return lim
+}
+
+// sectionHead returns the oldest in-flight entry of the given criticality
+// class in a program-ordered fifo.
+func sectionHead(f *fifo, critical bool) *entry {
+	for _, e := range f.items {
+		if e.critical == critical {
+			return e
+		}
+	}
+	return nil
+}
+
+// stalledOnLatency reports whether a section's fullness is latency-caused:
+// its oldest entry has not produced its result yet. A section full of
+// completed uops is retirement-bound, and expanding it cannot help — the
+// distinction the paper's full-window-stall counters make.
+func stalledOnLatency(e *entry) bool {
+	return e != nil && e.state != stateDone
+}
+
+// noteCritHogging records reverse partition pressure: the critical section
+// of a structure is full and that is throttling the in-order (non-critical)
+// stream, so the critical share should shrink. Only the first full
+// structure is charged, and only when its critical head is *not* waiting on
+// memory (a latency-stalled critical section is doing its job — shrinking
+// it would surrender MLP; a section full of completed uops is hogging).
+func (c *Core) noteCritHogging() {
+	if c.robPart == nil {
+		return
+	}
+	switch {
+	case c.robCrit.len() >= c.robPart.CritCap:
+		if !stalledOnLatency(c.robCrit.head()) {
+			c.robPart.NoteStall(false)
+		}
+	case c.lqCrit >= c.lqPart.CritCap:
+		if !stalledOnLatency(sectionHead(&c.lq, true)) {
+			c.lqPart.NoteStall(false)
+		}
+	case c.sqCrit >= c.sqPart.CritCap:
+		if !stalledOnLatency(sectionHead(&c.sq, true)) {
+			c.sqPart.NoteStall(false)
+		}
+	}
+}
+
+// allocCritical renames and allocates uops from the critical instruction
+// buffer, returning the remaining width budget.
+func (c *Core) allocCritical(budget int) int {
+	for budget > 0 && len(c.critQ) > 0 && c.critQ[0].at <= c.now {
+		e := c.critQ[0].e
+
+		// Fork the critical RAT once all pre-entry uops have renamed.
+		if !c.rf.critForked {
+			if c.regNextSeq < c.cdfEntrySeq {
+				break
+			}
+			c.rf.forkCritRAT()
+		}
+
+		// Structural resources for the critical sections. Growth pressure
+		// registers only when the section's fullness is latency-caused.
+		if c.robCrit.len() >= c.robPart.CritCap {
+			c.st.ROBFullCycles++
+			if stalledOnLatency(c.robCrit.head()) {
+				c.robPart.NoteStall(true)
+			}
+			break
+		}
+		if len(c.rs) >= c.cfg.RSSize || c.rsCrit >= c.critRSLimit() {
+			c.st.RSFullCycles++
+			break
+		}
+		if e.op.IsLoad() && (c.lq.len() >= c.cfg.LQSize || c.lqCrit >= c.lqPart.CritCap) {
+			c.st.LQFullCycles++
+			if stalledOnLatency(sectionHead(&c.lq, true)) {
+				c.lqPart.NoteStall(true)
+			}
+			break
+		}
+		if e.op.IsStore() && (c.sq.len() >= c.cfg.SQSize || c.sqCrit >= c.sqPart.CritCap) {
+			c.st.SQFullCycles++
+			if stalledOnLatency(sectionHead(&c.sq, true)) {
+				c.sqPart.NoteStall(true)
+			}
+			break
+		}
+		hasDst := !e.wrongPath && e.dyn.U.Op.HasDst()
+		if hasDst {
+			if c.rf.freeCount() == 0 || c.rf.critInFlight >= c.critPRFLimit() {
+				break
+			}
+			if len(c.cmq) >= c.cfg.CDF.CMQSize {
+				break
+			}
+		}
+
+		// Rename against the critical RAT.
+		if !e.wrongPath {
+			u := e.dyn.U
+			e.src1 = c.rf.lookup(u.Src1, true)
+			e.src2 = c.rf.lookup(u.Src2, true)
+			if hasDst {
+				p, ok := c.rf.alloc()
+				if !ok {
+					break
+				}
+				e.prevCrit = c.rf.critRAT[u.Dst]
+				c.rf.critRAT[u.Dst] = p
+				e.dstPhys = p
+				c.rf.critInFlight++
+				c.cmq = append(c.cmq, e)
+			}
+		}
+		e.critRenamed = true
+		c.traceEvent("rename", e, "critical")
+
+		c.dispatch(e)
+		c.critQ = c.critQ[:copy(c.critQ, c.critQ[1:])]
+		budget--
+	}
+	return budget
+}
+
+// allocRegular renames/replays and allocates uops from the regular decode
+// pipe in program order.
+func (c *Core) allocRegular(budget int) {
+	for budget > 0 && len(c.fetchQ) > 0 && c.fetchQ[0].at <= c.now {
+		e := c.fetchQ[0].e
+
+		if e.isReplay {
+			// Replay a critical uop's rename to keep the regular RAT in
+			// program order (§3.4); detect poison violations (§3.6).
+			t := e.replayOf
+			if t == nil || !t.critRenamed {
+				// The critical rename stage has not processed it yet —
+				// usually because a full critical section blocks it. That
+				// throttles the in-order stream: reverse pressure.
+				c.noteCritHogging()
+				break
+			}
+			u := t.dyn.U
+			// Poison check on sources: a poisoned source means a
+			// non-critical uop produced a value this critical uop consumed
+			// — it executed incorrectly.
+			if c.violatesPoison(u) {
+				if c.debugViol != nil {
+					reg := -1
+					if u.Src1.Valid() && c.rf.poison[u.Src1] {
+						reg = int(u.Src1)
+					} else if u.Src2.Valid() && c.rf.poison[u.Src2] {
+						reg = int(u.Src2)
+					}
+					c.debugViol(t, reg)
+				}
+				c.st.DependenceViolations++
+				c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+				c.dependenceViolation(t)
+				return
+			}
+			if u.Op.HasDst() {
+				if len(c.cmq) == 0 || c.cmq[0] != t {
+					panic(errInternal("CMQ head mismatch at replay of seq %d", t.seq))
+				}
+				c.cmq = c.cmq[:copy(c.cmq, c.cmq[1:])]
+				t.prevReg = c.rf.rat[u.Dst]
+				c.rf.rat[u.Dst] = t.dstPhys
+				c.rf.poison[u.Dst] = false
+			}
+			t.regRenamed = true
+			c.traceEvent("rename", t, "replay")
+			c.regNextSeq = e.seq + 1
+			c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+			budget--
+			continue
+		}
+
+		// Structural resources for the (non-critical) section. The
+		// partition exists only while a CDF episode is live (it is created
+		// when the first critical uop arrives, §3.5) or still draining.
+		partActive := c.robPart != nil && (c.cdfOn || c.robCrit.len() > 0)
+		nonCap := c.cfg.ROBSize
+		if partActive {
+			nonCap = c.robPart.NonCritCap()
+		}
+		if c.robNon.len() >= nonCap {
+			c.st.ROBFullCycles++
+			if partActive && stalledOnLatency(c.robNon.head()) {
+				c.robPart.NoteStall(false)
+			}
+			break
+		}
+		if len(c.rs) >= c.cfg.RSSize {
+			c.st.RSFullCycles++
+			break
+		}
+		lqCap, sqCap := c.cfg.LQSize, c.cfg.SQSize
+		if partActive {
+			lqCap, sqCap = c.lqPart.NonCritCap(), c.sqPart.NonCritCap()
+		}
+		if e.op.IsLoad() && (c.lq.len() >= c.cfg.LQSize || c.lq.len()-c.lqCrit >= lqCap) {
+			c.st.LQFullCycles++
+			if partActive && stalledOnLatency(sectionHead(&c.lq, false)) {
+				c.lqPart.NoteStall(false)
+			}
+			break
+		}
+		if e.op.IsStore() && (c.sq.len() >= c.cfg.SQSize || c.sq.len()-c.sqCrit >= sqCap) {
+			c.st.SQFullCycles++
+			if partActive && stalledOnLatency(sectionHead(&c.sq, false)) {
+				c.sqPart.NoteStall(false)
+			}
+			break
+		}
+		hasDst := !e.wrongPath && e.dyn.U.Op.HasDst()
+		if hasDst && c.rf.freeCount() == 0 {
+			break
+		}
+
+		// Rename against the regular RAT.
+		if !e.wrongPath {
+			u := e.dyn.U
+			e.src1 = c.rf.lookup(u.Src1, false)
+			e.src2 = c.rf.lookup(u.Src2, false)
+			if hasDst {
+				p, ok := c.rf.alloc()
+				if !ok {
+					break
+				}
+				e.prevReg = c.rf.rat[u.Dst]
+				c.rf.rat[u.Dst] = p
+				e.dstPhys = p
+				if c.cdfOn && e.fetchedInCDF {
+					// Non-critical writer inside the episode: poison for
+					// violation detection. Uops fetched before CDF entry are
+					// ordered ahead of the critical RAT fork (the fork waits
+					// for them) and must not poison.
+					c.rf.poison[u.Dst] = true
+					if c.debugViol != nil {
+						c.lastPoisonWriter[u.Dst] = u.String()
+					}
+				}
+			}
+			e.regRenamed = true
+			c.regNextSeq = e.seq + 1
+		}
+		c.traceEvent("rename", e, "")
+
+		c.dispatch(e)
+		c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+		budget--
+	}
+}
+
+// violatesPoison reports whether any source of u is poisoned.
+func (c *Core) violatesPoison(u isa.Uop) bool {
+	if u.Src1.Valid() && c.rf.poison[u.Src1] {
+		return true
+	}
+	if u.Src2.Valid() && c.rf.poison[u.Src2] {
+		return true
+	}
+	return false
+}
+
+// dispatch places an allocated entry into the ROB section, RS, and LQ/SQ.
+func (c *Core) dispatch(e *entry) {
+	if e.critical {
+		c.robCrit.push(e)
+	} else {
+		c.robNon.push(e)
+	}
+	e.state = stateWaiting
+	e.inRS = true
+	c.insertRS(e)
+	if e.critical {
+		c.rsCrit++
+	}
+	if e.op.IsLoad() {
+		c.lq.insertOrdered(e)
+		e.inLQ = true
+		if e.critical {
+			c.lqCrit++
+		}
+	}
+	if e.op.IsStore() {
+		c.sq.insertOrdered(e)
+		e.inSQ = true
+		if e.critical {
+			c.sqCrit++
+		}
+	}
+	if !e.wrongPath && e.seq > c.lastAllocSeq {
+		c.lastAllocSeq = e.seq
+	}
+}
+
+// insertRS keeps the RS slice ordered by program order so the scheduler's
+// oldest-first scan is a linear pass.
+func (c *Core) insertRS(e *entry) {
+	i := sort.Search(len(c.rs), func(i int) bool {
+		return !c.rs[i].before(e)
+	})
+	c.rs = append(c.rs, nil)
+	copy(c.rs[i+1:], c.rs[i:])
+	c.rs[i] = e
+}
+
+// --- issue / execute (§3.5 "Issue and Dispatch") ---
+
+// issue selects ready uops from the RS — oldest first, critical preferred —
+// within port-class limits, and starts their execution.
+func (c *Core) issue() {
+	var ports [isa.NumPortClasses]int
+	copy(ports[:], c.cfg.Ports[:])
+	budget := c.cfg.Width
+
+	// Store address generation: STA fires as soon as the base register is
+	// ready, independent of the data, enabling early violation detection
+	// and forwarding.
+	for _, e := range c.rs {
+		if e.op.IsStore() && !e.addrReady && !e.wrongPath && c.rf.isReady(e.src1) {
+			e.addr = e.dyn.Addr
+			e.addrReady = true
+			c.checkStoreViolation(e)
+		}
+	}
+
+	// Two passes: critical entries first, then the rest; both oldest-first
+	// (the RS slice is program-ordered).
+	for pass := 0; pass < 2 && budget > 0; pass++ {
+		wantCritical := pass == 0
+		for i := 0; i < len(c.rs) && budget > 0; i++ {
+			e := c.rs[i]
+			if e.critical != wantCritical {
+				continue
+			}
+			if !c.readyToIssue(e) {
+				continue
+			}
+			cls := e.op.Port()
+			if ports[cls] <= 0 {
+				continue
+			}
+			if e.op.IsLoad() && !e.wrongPath {
+				if blocked, _ := c.loadBlockedByStore(e); blocked {
+					continue
+				}
+			}
+			ports[cls]--
+			budget--
+			c.traceEvent("issue", e, e.op.String())
+			c.execute(e)
+			c.removeRS(i)
+			i--
+		}
+	}
+}
+
+// readyToIssue reports whether e's operands are available.
+func (c *Core) readyToIssue(e *entry) bool {
+	if e.state != stateWaiting {
+		return false
+	}
+	if e.wrongPath {
+		return true
+	}
+	return c.rf.isReady(e.src1) && c.rf.isReady(e.src2)
+}
+
+// loadBlockedByStore reports whether an older same-word store with a known
+// address but unissued data blocks the load, and returns any forwarding
+// source (older matching store whose data is available).
+func (c *Core) loadBlockedByStore(ld *entry) (blocked bool, fwd *entry) {
+	word := ld.dyn.Addr >> 3
+	for i := len(c.sq.items) - 1; i >= 0; i-- {
+		st := c.sq.items[i]
+		if !st.before(ld) {
+			continue
+		}
+		if st.wrongPath || !st.addrReady {
+			continue // unknown address: speculate past it
+		}
+		if st.addr>>3 != word {
+			continue
+		}
+		// Youngest older matching store.
+		if st.state == stateExecuting || st.state == stateDone {
+			return false, st
+		}
+		return true, nil // address matches but data not yet issued
+	}
+	return false, nil
+}
+
+// execute starts e on its port: computes addresses, accesses memory for
+// loads, and schedules completion.
+func (c *Core) execute(e *entry) {
+	e.state = stateExecuting
+	e.inRS = false
+	if e.critical {
+		c.rsCrit--
+	}
+
+	switch {
+	case e.op.IsLoad():
+		if e.wrongPath {
+			// Modelled wrong-path load: traffic and pollution only.
+			res := c.hier.Load(e.addr, c.now+1, true)
+			e.doneAt = res.Done
+			e.issuedMem = true
+			break
+		}
+		e.addr = e.dyn.Addr
+		e.addrReady = true
+		if _, fwd := c.loadBlockedByStore(e); fwd != nil {
+			// Store-to-load forwarding.
+			e.forwarded = true
+			e.doneAt = maxU(c.now, fwd.doneAt) + uint64(c.cfg.Mem.L1DLatency)
+			break
+		}
+		res := c.hier.Load(e.addr, c.now+1, false)
+		e.doneAt = res.Done
+		e.llcMiss = res.LLCMiss
+		e.issuedMem = true
+		c.noteLoadLine(e.addr / c.cfg.Mem.LineBytes)
+
+	case e.op.IsStore():
+		if !e.wrongPath {
+			e.addr = e.dyn.Addr
+			if !e.addrReady {
+				e.addrReady = true
+				c.checkStoreViolation(e)
+			}
+		}
+		e.doneAt = c.now + uint64(e.op.Latency())
+
+	default:
+		e.doneAt = c.now + uint64(e.op.Latency())
+	}
+	c.exec = append(c.exec, e)
+}
+
+// removeRS drops index i from the RS slice.
+func (c *Core) removeRS(i int) {
+	copy(c.rs[i:], c.rs[i+1:])
+	c.rs[len(c.rs)-1] = nil
+	c.rs = c.rs[:len(c.rs)-1]
+}
+
+// checkStoreViolation scans for younger loads that already read the store's
+// word: a memory-order violation, flushed from the offending load (§3.5
+// "Memory Disambiguation"). The flush itself is deferred to the end of the
+// stage so the scheduler's scan is not mutated underneath it.
+func (c *Core) checkStoreViolation(st *entry) {
+	word := st.addr >> 3
+	for _, ld := range c.lq.items {
+		if ld.wrongPath || !ld.younger(st.seq, st.sub) {
+			continue
+		}
+		if !ld.issuedMem && !ld.forwarded {
+			continue
+		}
+		if ld.dyn.Addr>>3 != word {
+			continue
+		}
+		if c.pendingMemViol == nil || ld.before(c.pendingMemViol) {
+			c.pendingMemViol = ld
+		}
+	}
+}
+
+// processMemViolation applies a deferred memory-order violation flush.
+func (c *Core) processMemViolation() {
+	if c.pendingMemViol == nil {
+		return
+	}
+	ld := c.pendingMemViol
+	c.pendingMemViol = nil
+	// The load may have been flushed meanwhile by a branch recovery; only
+	// act if it is still in the LQ.
+	for _, e := range c.lq.items {
+		if e == ld {
+			c.st.MemOrderViolations++
+			c.memoryViolation(ld)
+			return
+		}
+	}
+}
+
+// --- completion and branch resolution ---
+
+// complete retires execution results: wakes dependents and resolves
+// branches, possibly triggering recovery.
+func (c *Core) complete() {
+	var resolved *entry
+	live := c.exec[:0]
+	for _, e := range c.exec {
+		if e.doneAt > c.now {
+			live = append(live, e)
+			continue
+		}
+		e.state = stateDone
+		c.rf.markReady(e.dstPhys)
+		c.traceEvent("complete", e, "")
+		if e.op.IsLoad() && e.wrongPath {
+			continue // wrong-path slots need no resolution
+		}
+		if !e.wrongPath && e.op.IsBranch() && e.mispredict && !e.resolved {
+			if resolved == nil || e.before(resolved) {
+				resolved = e
+			}
+		}
+	}
+	c.exec = live
+	if resolved != nil {
+		resolved.resolved = true
+		c.recoverBranch(resolved)
+	}
+}
+
+// --- retire (§3.5 "In-Order Retirement") ---
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.Width; n++ {
+		e := c.oldestROBHead()
+		if e == nil {
+			if c.strm.Halted() && c.pipelineEmpty() {
+				c.finished = true
+			}
+			return
+		}
+		if e.wrongPath {
+			// The slot's mispredicted branch is still in flight (possibly
+			// still in the decode pipe); it will resolve and flush this
+			// entry. Wrong-path work never retires.
+			return
+		}
+		if e.state != stateDone {
+			return
+		}
+		// Critical uops retire only after their regular-stream replay has
+		// updated the RAT in program order (§3.4).
+		if e.critical && !e.regRenamed {
+			return
+		}
+		c.retireEntry(e)
+	}
+}
+
+// pipelineEmpty reports whether nothing is in flight.
+func (c *Core) pipelineEmpty() bool {
+	return c.robOccupancy() == 0 && len(c.fetchQ) == 0 && len(c.critQ) == 0
+}
+
+func (c *Core) retireEntry(e *entry) {
+	if e.critical {
+		if c.robCrit.head() != e {
+			panic(errInternal("critical retire head mismatch"))
+		}
+		c.robCrit.popHead()
+	} else {
+		if c.robNon.head() != e {
+			panic(errInternal("non-critical retire head mismatch"))
+		}
+		c.robNon.popHead()
+	}
+
+	if e.op.IsLoad() {
+		if c.lq.head() != e {
+			panic(errInternal("LQ retire head mismatch"))
+		}
+		c.lq.popHead()
+		e.inLQ = false
+		if e.critical {
+			c.lqCrit--
+		}
+		c.st.RetiredLoads++
+	}
+	if e.op.IsStore() {
+		if c.sq.head() != e {
+			panic(errInternal("SQ retire head mismatch"))
+		}
+		c.sq.popHead()
+		e.inSQ = false
+		if e.critical {
+			c.sqCrit--
+		}
+		// Commit the store to the memory system.
+		c.hier.Store(e.dyn.Addr, c.now)
+		c.st.RetiredStores++
+	}
+	if e.op.IsBranch() {
+		c.st.RetiredBranches++
+	}
+
+	// Free the previous mapping of the destination register.
+	if e.hasDst() {
+		c.rf.release(e.prevReg)
+		c.rf.markReady(e.prevReg)
+		if e.critical {
+			c.rf.critInFlight--
+		}
+	}
+
+	c.st.RetiredUops++
+	c.traceEvent("retire", e, e.op.String())
+	if e.critical {
+		c.st.CriticalUopsRetired++
+	}
+	c.retired++
+
+	if c.cfg.WarmupRetired > 0 && c.retired == c.cfg.WarmupRetired {
+		// End of warm-up: drop the statistics, keep the machine warm.
+		*c.st = stats.Stats{}
+	}
+
+	c.trainCriticality(e)
+
+	if e.dyn.Last {
+		c.finished = true
+	}
+}
+
+// --- flush and recovery ---
+
+// collectFlush removes all entries younger than (seq, sub) — inclusive when
+// requested — from every structure and undoes their renames youngest-first.
+func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
+	removed := c.robCrit.flushYounger(seq, sub, inclusive)
+	removed = append(removed, c.robNon.flushYounger(seq, sub, inclusive)...)
+
+	drop := func(e *entry) bool {
+		if inclusive {
+			return e.youngerEq(seq, sub)
+		}
+		return e.younger(seq, sub)
+	}
+
+	// LQ/SQ.
+	keepLQ := c.lq.items[:0]
+	for _, e := range c.lq.items {
+		if drop(e) {
+			if e.critical {
+				c.lqCrit--
+			}
+		} else {
+			keepLQ = append(keepLQ, e)
+		}
+	}
+	clearTail(c.lq.items, len(keepLQ))
+	c.lq.items = keepLQ
+	keepSQ := c.sq.items[:0]
+	for _, e := range c.sq.items {
+		if drop(e) {
+			if e.critical {
+				c.sqCrit--
+			}
+		} else {
+			keepSQ = append(keepSQ, e)
+		}
+	}
+	clearTail(c.sq.items, len(keepSQ))
+	c.sq.items = keepSQ
+
+	// RS and exec list.
+	keepRS := c.rs[:0]
+	for _, e := range c.rs {
+		if drop(e) {
+			if e.critical {
+				c.rsCrit--
+			}
+		} else {
+			keepRS = append(keepRS, e)
+		}
+	}
+	clearTail(c.rs, len(keepRS))
+	c.rs = keepRS
+	keepEx := c.exec[:0]
+	for _, e := range c.exec {
+		if !drop(e) {
+			keepEx = append(keepEx, e)
+		}
+	}
+	clearTail(c.exec, len(keepEx))
+	c.exec = keepEx
+
+	// Frontend queues.
+	keepF := c.fetchQ[:0]
+	for _, it := range c.fetchQ {
+		if !drop(it.e) {
+			keepF = append(keepF, it)
+		}
+	}
+	c.fetchQ = keepF
+	keepC := c.critQ[:0]
+	for _, it := range c.critQ {
+		if !drop(it.e) {
+			keepC = append(keepC, it)
+		}
+	}
+	c.critQ = keepC
+
+	// DBQ / CMQ.
+	keepD := c.dbq[:0]
+	for _, d := range c.dbq {
+		if d.seq <= seq && !(inclusive && d.seq == seq) {
+			keepD = append(keepD, d)
+		}
+	}
+	c.dbq = keepD
+	keepM := c.cmq[:0]
+	for _, e := range c.cmq {
+		if !drop(e) {
+			keepM = append(keepM, e)
+		}
+	}
+	c.cmq = keepM
+
+	// Wrong-path engines whose source branch got flushed.
+	if c.regWPActive {
+		probe := entry{seq: c.regWPSeq}
+		if drop(&probe) {
+			c.regWPActive = false
+		}
+	}
+	if c.critWPActive {
+		probe := entry{seq: c.critWPSeq}
+		if drop(&probe) {
+			c.critWPActive = false
+		}
+	}
+
+	c.st.FlushedUops += uint64(len(removed))
+	if c.tracer != nil && len(removed) > 0 {
+		c.traceMode(fmt.Sprintf("flush %d uops younger than %d.%d", len(removed), seq, sub))
+	}
+
+	// Undo renames youngest-first.
+	sort.Slice(removed, func(i, j int) bool { return removed[j].before(removed[i]) })
+	for _, e := range removed {
+		if !e.hasDst() {
+			continue
+		}
+		u := e.dyn.U
+		if e.regRenamed && c.rf.rat[u.Dst] == e.dstPhys {
+			c.rf.rat[u.Dst] = e.prevReg
+		}
+		if e.critRenamed && c.rf.critForked && c.rf.critRAT[u.Dst] == e.dstPhys {
+			c.rf.critRAT[u.Dst] = e.prevCrit
+		}
+		c.rf.release(e.dstPhys)
+		c.rf.markReady(e.dstPhys)
+		if e.critical {
+			c.rf.critInFlight--
+		}
+	}
+}
+
+func clearTail[T any](s []T, from int) {
+	var zero T
+	for i := from; i < len(s); i++ {
+		s[i] = zero
+	}
+}
+
+// recoverBranch handles a resolved misprediction: flush, redirect, and CDF
+// mode bookkeeping (§3.6 "Branch Mispredictions").
+func (c *Core) recoverBranch(br *entry) {
+	c.st.BranchMispredicts++
+	c.traceMode(fmt.Sprintf("mispredicted branch at seq %d resolves", br.seq))
+	c.collectFlush(br.seq, br.sub, false)
+
+	wasAhead := c.regSeq > br.seq+1 || (c.regWPActive && c.regWPSeq == br.seq)
+	if c.regWPActive && c.regWPSeq == br.seq {
+		c.regWPActive = false
+	}
+	c.regSeq = minU(c.regSeq, br.seq+1)
+	c.regNextSeq = minU(c.regNextSeq, br.seq+1)
+	c.haveFetchLine = false
+	if wasAhead {
+		c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+	}
+
+	if !c.cdfOn {
+		return
+	}
+	if br.fetchedInCDF {
+		// CDF mode survives: the critical fetcher restarts on the correct
+		// path right after the branch.
+		if c.critWPActive && c.critWPSeq == br.seq {
+			c.critWPActive = false
+		}
+		if !c.cdfExitPending {
+			c.critScanSeq = br.seq + 1
+			// The critical frontend restarts from the Critical Uop Cache
+			// with pre-decoded uops: only the short critical pipe refills.
+			c.critStallUntil = c.now + uint64(c.cfg.CritDecodeLat)
+		}
+		// Correct the branch's DBQ entry if the regular stream has not
+		// consumed it yet ("resolved earlier" — the non-critical stream
+		// then follows the corrected direction with no flush of its own).
+		for i := range c.dbq {
+			if c.dbq[i].seq == br.seq {
+				c.dbq[i].taken = br.dyn.Taken
+				c.dbq[i].target = br.dyn.NextPC
+				c.dbq[i].wrong = false
+			}
+		}
+		return
+	}
+	// §3.6: recovering to a branch fetched in regular mode ends CDF mode.
+	c.exitCDFNow()
+}
+
+// dependenceViolation handles a poisoned-register read by a critical uop:
+// flush from the violating instruction (inclusive) and restart in regular
+// mode (§3.6 "Dependence Violations in the Critical Instruction Stream").
+func (c *Core) dependenceViolation(v *entry) {
+	c.traceMode(fmt.Sprintf("register dependence violation at seq %d", v.seq))
+	c.collectFlush(v.seq, 0, true)
+	c.exitCDFNow()
+	c.regSeq = minU(c.regSeq, v.seq)
+	c.regNextSeq = minU(c.regNextSeq, v.seq)
+	c.regWPActive = false
+	c.haveFetchLine = false
+	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+}
+
+// memoryViolation flushes from a load that read memory too early and
+// restarts fetch there; in CDF mode the processor restarts in regular mode
+// (§3.5 "Memory Disambiguation").
+func (c *Core) memoryViolation(ld *entry) {
+	c.collectFlush(ld.seq, ld.sub, true)
+	if c.cdfOn {
+		c.exitCDFNow()
+	}
+	c.regWPActive = false
+	c.regSeq = minU(c.regSeq, ld.seq)
+	c.regNextSeq = minU(c.regNextSeq, ld.seq)
+	c.haveFetchLine = false
+	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

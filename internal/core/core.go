@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"cdf/internal/branch"
+	"cdf/internal/cdf"
+	"cdf/internal/emu"
+	"cdf/internal/mem"
+	"cdf/internal/pre"
+	"cdf/internal/prog"
+	"cdf/internal/stats"
+)
+
+// fqItem is a fetched uop waiting in the decode pipe for rename.
+type fqItem struct {
+	e  *entry
+	at uint64 // cycle it becomes visible to rename
+}
+
+// dbqEntry is one Delayed Branch Queue record (§3.3): the prediction made
+// by the critical fetch engine, replayed by the regular fetch engine.
+type dbqEntry struct {
+	seq    uint64
+	taken  bool
+	target uint64
+	wrong  bool // prediction disagrees with the oracle outcome
+}
+
+// Core is the simulated machine.
+type Core struct {
+	cfg  Config
+	st   *stats.Stats
+	hier *mem.Hierarchy
+	pred *branch.Predictor
+	prg  *prog.Program
+	strm *stream
+
+	blockByPC map[uint64]int // block start PC -> block ID
+
+	rf *regFile
+
+	// Windows. robCrit/robNon are the two ROB sections; lq/sq hold memory
+	// ops in program order with per-section occupancy counts.
+	robCrit fifo
+	robNon  fifo
+	lq      fifo
+	sq      fifo
+	lqCrit  int
+	sqCrit  int
+	rs      []*entry
+	rsCrit  int
+	exec    []*entry // issued, completing at doneAt
+
+	// Dynamic partitions (active in ModeCDF).
+	robPart *cdf.Partition
+	lqPart  *cdf.Partition
+	sqPart  *cdf.Partition
+
+	// Regular frontend.
+	regSeq          uint64 // next dynamic position for regular fetch
+	regNextSeq      uint64 // next seq the regular rename stage expects
+	fetchQ          []fqItem
+	fetchStallUntil uint64
+	regWPActive     bool   // regular stream on a modelled wrong path
+	regWPSeq        uint64 // ...behind the mispredicted branch at this seq
+	lastFetchLine   uint64
+	haveFetchLine   bool
+	lastAllocSeq    uint64 // youngest correct-path seq allocated
+
+	// CDF frontend.
+	cdfOn          bool
+	cdfExitPending bool
+	cdfEntrySeq    uint64
+	cdfEpoch       uint32
+	critScanSeq    uint64 // next position the critical fetcher examines
+	critStallUntil uint64
+	critWPActive   bool
+	critWPSeq      uint64
+	critWPEmitted  int
+	critWPCritBr   bool
+	critQ          []fqItem
+	dbq            []dbqEntry
+	cmq            []*entry
+	wpCounter      uint32
+
+	// Criticality machinery.
+	loadCCT     *cdf.CountTable
+	branchCCT   *cdf.CountTable
+	maskc       *cdf.MaskCache
+	cuc         *cdf.UopCache
+	fb          *cdf.FillBuffer
+	collecting  bool
+	machBusy    uint64 // criticality machinery busy (walk in progress) until
+	lastEpochAt uint64 // retired count at last collection epoch start
+	lastMaskRst uint64
+
+	// Precise Runahead.
+	runahead    *pre.Engine
+	preStallSeq uint64 // head seq of the last PRE-marked stall
+	preStalled  bool
+
+	// Wrong-path load address synthesis.
+	rng          uint64
+	recentLines  [64]uint64
+	recentN      int
+	wpMissBudget int
+	wpBudgetSeq  uint64
+
+	pendingMemViol *entry
+
+	// tracer receives pipeline events when set (see trace.go).
+	tracer Tracer
+
+	// Debug hooks (tests only).
+	debugViol        func(e *entry, reg int)
+	lastPoisonWriter [32]string
+
+	now      uint64
+	retired  uint64
+	finished bool
+}
+
+// New builds a core executing p with memory state m.
+func New(cfg Config, p *prog.Program, m *emu.Memory) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &stats.Stats{}
+	c := &Core{
+		cfg:  cfg,
+		st:   st,
+		hier: mem.NewHierarchy(cfg.Mem, st),
+		pred: branch.NewPredictor(),
+		prg:  p,
+		strm: newStream(emu.New(p, m)),
+		rf:   newRegFile(cfg.PRFSize),
+		rng:  cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	c.blockByPC = make(map[uint64]int, len(p.Blocks))
+	for _, b := range p.Blocks {
+		c.blockByPC[p.BlockPC(b.ID)] = b.ID
+	}
+
+	cc := cfg.CDF
+	if cfg.Mode == ModePRE {
+		// PRE uses the marking machinery purely for prefetch chains; the
+		// density gates only matter for entering CDF mode.
+		cc.DisableDensityGates = true
+	}
+	if cfg.Mode == ModeHybrid {
+		// Gates still bar CDF-mode entry, but rejected traces stay in the
+		// CUC for the runahead engine.
+		cc.RejectKeepsTraces = true
+	}
+	if cfg.Mode == ModeBaseline && cfg.TrainCriticality {
+		// Observe-only marking (Fig. 1) measures the criticality mix; the
+		// gates exist to control CDF-mode entry, which never happens here.
+		cc.DisableDensityGates = true
+	}
+	c.loadCCT = cdf.NewCountTable(cc.CCTEntries, cc.CCTWays,
+		cc.LoadStrictMax, cc.LoadStrictThresh, cc.LoadPermMax, cc.LoadPermThresh, 1)
+	c.branchCCT = cdf.NewCountTable(cc.CCTEntries, cc.CCTWays,
+		cc.BranchStrictMax, cc.BranchStrictThresh, cc.BranchPermMax, cc.BranchPermThresh,
+		cc.BranchMispredictWeight)
+	c.maskc = cdf.NewMaskCache(cc.MaskEntries, cc.MaskWays)
+	c.cuc = cdf.NewUopCache(cc.CUCLines, cc.CUCWays, cc.CUCLineUops)
+	c.fb = cdf.NewFillBuffer(cc, c.maskc, c.cuc)
+
+	if cfg.Mode == ModeCDF || cfg.Mode == ModeHybrid {
+		c.robPart = cdf.NewPartition(cfg.ROBSize, cc.ROBStep, cc.PartitionStallThresh)
+		c.lqPart = cdf.NewPartition(cfg.LQSize, cc.LSQStep, cc.PartitionStallThresh)
+		c.sqPart = cdf.NewPartition(cfg.SQSize, cc.LSQStep, cc.PartitionStallThresh)
+		if cc.DisableDynamicPartition {
+			c.robPart.Frozen = true
+			c.lqPart.Frozen = true
+			c.sqPart.Frozen = true
+		}
+	}
+	if cfg.Mode == ModePRE || cfg.Mode == ModeHybrid {
+		c.runahead = pre.NewEngine(pre.Config{
+			Width:         cfg.Width,
+			LineBytes:     cfg.Mem.LineBytes,
+			WrongLoadFrac: cfg.WrongPathLoadFrac,
+			Seed:          cfg.Seed,
+		}, pre.Deps{CUC: c.cuc, Pred: c.pred, Oracle: c, Mem: c.hier, Prog: p, Stats: st,
+			RecentLine: c.randomRecentLine})
+	}
+	return c, nil
+}
+
+// Stats returns the run's counters.
+func (c *Core) Stats() *stats.Stats { return c.st }
+
+// Hierarchy exposes the memory system (for energy accounting and tests).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Predictor exposes the branch unit (for tests).
+func (c *Core) Predictor() *branch.Predictor { return c.pred }
+
+// UopCache exposes the Critical Uop Cache (for tests).
+func (c *Core) UopCache() *cdf.UopCache { return c.cuc }
+
+// Cycles returns the current cycle.
+func (c *Core) Cycles() uint64 { return c.now }
+
+// Retired returns the number of retired uops.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Finished reports whether the program retired its final uop or a run limit
+// was reached.
+func (c *Core) Finished() bool { return c.finished }
+
+// DynAt implements pre.Oracle: the runahead engine walks the same
+// correct-path stream the fetch engines use.
+func (c *Core) DynAt(seq uint64) *emu.DynUop {
+	rec := c.strm.At(seq)
+	if rec == nil {
+		return nil
+	}
+	return &rec.dyn
+}
+
+// Run simulates until the program finishes or a limit is reached, and
+// returns the number of cycles executed.
+func (c *Core) Run() uint64 {
+	start := c.now
+	for !c.finished {
+		c.Cycle()
+	}
+	return c.now - start
+}
+
+// Cycle advances the machine one clock. Stages run in reverse pipeline
+// order so same-cycle structural hazards resolve like hardware.
+func (c *Core) Cycle() {
+	if c.finished {
+		return
+	}
+	c.complete()
+	c.retire()
+	c.issue()
+	c.processMemViolation()
+	c.allocate()
+	c.fetch()
+	c.endOfCycle()
+	c.now++
+
+	if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+		c.finished = true
+	}
+	if c.cfg.MaxRetired > 0 && c.retired >= c.cfg.MaxRetired {
+		c.finished = true
+	}
+}
+
+// endOfCycle gathers per-cycle statistics and runs the slow controllers.
+func (c *Core) endOfCycle() {
+	c.st.Cycles++
+	c.st.TickMLP(c.hier.OutstandingLLCMisses(c.now))
+	if c.cdfOn {
+		c.st.CDFModeCycles++
+	}
+
+	// Full-window stall detection: ROB full and the oldest uop is a load
+	// waiting on an LLC miss.
+	inStall := false
+	if c.robOccupancy() >= c.cfg.ROBSize {
+		head := c.oldestROBHead()
+		if head != nil && head.op.IsLoad() && head.state != stateDone && head.llcMiss {
+			inStall = true
+			c.st.FullWindowStallCycles++
+			c.sampleStallROB()
+			// Per-section stall attribution drives the dynamic partitions.
+			if c.robPart != nil {
+				c.robPart.NoteStall(head.critical)
+			}
+			if c.runahead != nil && !c.cdfOn {
+				// PRE marks loads that cause full-window stalls (§4.1) —
+				// once per stall — and runs ahead for the stall's duration.
+				// In hybrid mode (§6), marking stays CDF's retire-driven
+				// policy and runahead only covers the stretches where the
+				// processor is out of CDF mode.
+				if !c.preStalled || c.preStallSeq != head.seq {
+					c.preStalled, c.preStallSeq = true, head.seq
+					if c.cfg.Mode == ModePRE {
+						c.loadCCT.Update(head.dyn.PC, true)
+					}
+					free := c.cfg.RSSize - len(c.rs)
+					if f := c.rf.freeCount(); f < free {
+						free = f // runahead runs on free RS *and* PRF entries
+					}
+					c.runahead.BeginStall(c.now, c.lastAllocSeq+1, head.doneAt, free, c.regWPActive)
+				}
+			}
+		}
+	}
+	if !inStall {
+		// PRE's precise exit is effectively free: chains were fetched
+		// pre-decoded from the Critical Uop Cache, so the regular decode
+		// pipe still holds the main stream (§4.1: no EMQ needed).
+		c.preStalled = false
+		if c.runahead != nil {
+			c.runahead.EndStall()
+		}
+	}
+	if c.runahead != nil {
+		if c.cdfOn {
+			// Hybrid: the critical fetch engine owns the frontend while CDF
+			// mode is on; runahead yields.
+			c.runahead.EndStall()
+		} else {
+			c.runahead.Cycle(c.now)
+		}
+	}
+	c.maybeFinalizeCDFExit()
+
+	// Apply partition boundary movements.
+	if c.robPart != nil {
+		c.robPart.Apply(c.robCrit.len(), c.robNon.len())
+		c.lqPart.Apply(c.lqCrit, c.lq.len()-c.lqCrit)
+		c.sqPart.Apply(c.sqCrit, c.sq.len()-c.sqCrit)
+		c.st.PartitionGrows = c.robPart.Grows + c.lqPart.Grows + c.sqPart.Grows
+		c.st.PartitionShrinks = c.robPart.Shrinks + c.lqPart.Shrinks + c.sqPart.Shrinks
+	}
+
+	// Release retired stream positions (keep a safety margin for in-flight
+	// references behind the oldest unretired seq).
+	if c.retired%4096 == 0 {
+		c.strm.Release(c.oldestLiveSeq())
+	}
+}
+
+// robOccupancy returns total ROB entries in use.
+func (c *Core) robOccupancy() int { return c.robCrit.len() + c.robNon.len() }
+
+// oldestROBHead returns the program-order oldest ROB entry.
+func (c *Core) oldestROBHead() *entry {
+	h1, h2 := c.robCrit.head(), c.robNon.head()
+	switch {
+	case h1 == nil:
+		return h2
+	case h2 == nil:
+		return h1
+	case h1.before(h2):
+		return h1
+	default:
+		return h2
+	}
+}
+
+// oldestLiveSeq returns the oldest dynamic position still referenced.
+func (c *Core) oldestLiveSeq() uint64 {
+	oldest := c.regSeq
+	if h := c.oldestROBHead(); h != nil && h.seq < oldest {
+		oldest = h.seq
+	}
+	for _, it := range c.fetchQ {
+		if it.e.seq < oldest {
+			oldest = it.e.seq
+		}
+	}
+	if c.cdfOn && c.cdfEntrySeq < oldest {
+		oldest = c.cdfEntrySeq
+	}
+	return oldest
+}
+
+// sampleStallROB records a Fig. 1 occupancy sample: how many ROB entries
+// hold critical-path uops (everything in the critical section, plus
+// non-critical-section entries the mask machinery marks).
+func (c *Core) sampleStallROB() {
+	crit, non := 0, 0
+	for _, e := range c.robCrit.items {
+		if !e.wrongPath {
+			crit++
+		}
+	}
+	for _, e := range c.robNon.items {
+		switch {
+		case e.wrongPath:
+			// Modelled wrong-path slots are not program instructions;
+			// Fig. 1 counts the real instruction mix.
+		case e.critical || e.obsCritical:
+			crit++
+		default:
+			non++
+		}
+	}
+	c.st.SampleStallROB(crit, non)
+}
+
+// errInternal wraps invariant violations; used by panics in impossible
+// states so test failures carry context.
+func errInternal(format string, args ...any) error {
+	return fmt.Errorf("core internal: %s", fmt.Sprintf(format, args...))
+}

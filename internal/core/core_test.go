@@ -1,0 +1,522 @@
+package core
+
+import (
+	"testing"
+
+	"cdf/internal/emu"
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+	"cdf/internal/workload"
+)
+
+func r(i int) isa.Reg { return isa.Reg(i) }
+
+// buildALULoop is a pure-ALU kernel with a predictable loop branch: the
+// machine should sustain near-peak IPC on it.
+func buildALULoop() (*prog.Program, *emu.Memory) {
+	b := prog.NewBuilder("aluloop")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), 1<<40)
+	loop := b.Label()
+	// Independent ALU work: plenty of ILP.
+	b.AddI(r(2), r(2), 1)
+	b.AddI(r(3), r(3), 2)
+	b.AddI(r(4), r(4), 3)
+	b.AddI(r(5), r(5), 4)
+	b.XorI(r(6), r(6), 5)
+	b.XorI(r(7), r(7), 6)
+	b.AddI(r(8), r(8), 7)
+	b.AddI(r(9), r(9), 8)
+	b.AddI(r(10), r(10), 9)
+	b.AddI(r(11), r(11), 10)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), emu.NewMemory()
+}
+
+func runProgram(t *testing.T, build func() (*prog.Program, *emu.Memory), mode Mode, uops uint64) *Core {
+	t.Helper()
+	p, m := build()
+	cfg := Default()
+	cfg.Mode = mode
+	cfg.MaxRetired = uops
+	cfg.MaxCycles = uops * 200
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if c.Stats().RetiredUops < uops {
+		t.Fatalf("retired %d/%d uops in %d cycles", c.Stats().RetiredUops, uops, c.Stats().Cycles)
+	}
+	return c
+}
+
+func TestBaselineALUThroughput(t *testing.T) {
+	c := runProgram(t, buildALULoop, ModeBaseline, 30_000)
+	ipc := c.Stats().IPC()
+	// 12 uops per iteration with a predictable branch: expect IPC near the
+	// ALU-port limit (4 ALU ports + the branch sharing them).
+	if ipc < 3.0 {
+		t.Fatalf("ALU-loop IPC %.2f too low", ipc)
+	}
+	if c.Stats().BranchMPKI() > 1 {
+		t.Fatalf("loop branch MPKI %.2f should be ~0", c.Stats().BranchMPKI())
+	}
+}
+
+// buildMispredictLoop alternates a data-dependent 50/50 branch.
+func buildMispredictLoop() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	m.AddRegion(0x10000000, 0x10000000+(1<<26), func(a uint64) int64 {
+		return int64(emu.SplitMix64(a))
+	})
+	b := prog.NewBuilder("mispredict")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), 1<<40)
+	b.MovI(r(2), 0x10000000)
+	loop := b.Label()
+	b.Load(r(3), r(2), 0)
+	b.AndI(r(4), r(3), 1)
+	skip := b.ReserveLabel()
+	b.Beq(r(4), r(0), skip)
+	b.AddI(r(5), r(5), 1)
+	b.Place(skip)
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+func TestMispredictionsDetectedAndCostly(t *testing.T) {
+	c := runProgram(t, buildMispredictLoop, ModeBaseline, 30_000)
+	st := c.Stats()
+	// ~1/7 uops is a 50/50 branch: MPKI should be huge.
+	if st.BranchMPKI() < 30 {
+		t.Fatalf("MPKI %.1f; the 50/50 branch should be unpredictable", st.BranchMPKI())
+	}
+	if st.FlushedUops == 0 {
+		t.Fatal("mispredictions must flush work")
+	}
+	// And they must cost real time compared to the ALU loop.
+	alu := runProgram(t, buildALULoop, ModeBaseline, 30_000)
+	if st.IPC() >= alu.Stats().IPC() {
+		t.Fatal("branchy loop should be slower than the ALU loop")
+	}
+}
+
+// buildForwarding stores then immediately loads the same word.
+func buildForwarding() (*prog.Program, *emu.Memory) {
+	b := prog.NewBuilder("fwd")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), 1<<40)
+	b.MovI(r(2), 0x20000000)
+	loop := b.Label()
+	b.AddI(r(3), r(3), 1)
+	b.Store(r(2), 0, r(3))
+	b.Load(r(4), r(2), 0) // must forward from the store
+	b.Add(r(5), r(5), r(4))
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), emu.NewMemory()
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	c := runProgram(t, buildForwarding, ModeBaseline, 20_000)
+	st := c.Stats()
+	// Every load hits the same line; after the first fill there should be
+	// no data misses — only the handful of cold code/data lines (the
+	// next-line I-prefetcher fetches a couple of lines past the loop).
+	if st.LLCMisses > 8 {
+		t.Fatalf("LLC misses = %d, want a few cold lines", st.LLCMisses)
+	}
+	if st.IPC() < 1.5 {
+		t.Fatalf("forwarding loop IPC %.2f too low", st.IPC())
+	}
+	if st.MemOrderViolations > st.RetiredUops/100 {
+		t.Fatalf("too many memory-order violations: %d", st.MemOrderViolations)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w, err := workload.ByName("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		p, m := w.Build()
+		cfg := Default()
+		cfg.Mode = ModeCDF
+		cfg.MaxRetired = 30_000
+		cfg.MaxCycles = 3_000_000
+		c, err := New(cfg, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		return c.Stats().Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different cycles: %d vs %d", a, b)
+	}
+}
+
+func TestSeedChangesWrongPathModel(t *testing.T) {
+	w, _ := workload.ByName("astar")
+	run := func(seed uint64) uint64 {
+		p, m := w.Build()
+		cfg := Default()
+		cfg.Mode = ModeBaseline
+		cfg.Seed = seed
+		cfg.MaxRetired = 30_000
+		cfg.MaxCycles = 3_000_000
+		c, _ := New(cfg, p, m)
+		c.Run()
+		return c.Stats().MemTraffic()
+	}
+	// Different seeds perturb wrong-path addresses; traffic should differ
+	// slightly but stay in the same ballpark.
+	a, b := run(1), run(99)
+	if a == b {
+		t.Log("identical traffic across seeds (possible but unlikely); not failing")
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("seeds changed traffic wildly: %d vs %d", a, b)
+	}
+}
+
+func TestCDFEntersAndRetiresCriticalUops(t *testing.T) {
+	w, _ := workload.ByName("astar")
+	p, m := w.Build()
+	cfg := Default()
+	cfg.Mode = ModeCDF
+	cfg.MaxRetired = 60_000
+	cfg.MaxCycles = 6_000_000
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	st := c.Stats()
+	if st.CDFEntries == 0 {
+		t.Fatal("CDF mode never entered")
+	}
+	if st.CDFModeCycles == 0 {
+		t.Fatal("no cycles in CDF mode")
+	}
+	if st.CriticalUopsFetched == 0 || st.CriticalUopsRetired == 0 {
+		t.Fatalf("critical uops fetched=%d retired=%d", st.CriticalUopsFetched, st.CriticalUopsRetired)
+	}
+	if st.FillBufferWalks == 0 || st.TracesInstalled == 0 {
+		t.Fatal("criticality machinery never ran")
+	}
+	if err := c.rf.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFRegFileInvariantAcrossModes(t *testing.T) {
+	for _, name := range []string{"astar", "bzip", "mcf", "sphinx", "lbm"} {
+		for _, mode := range []Mode{ModeBaseline, ModeCDF, ModePRE} {
+			w, _ := workload.ByName(name)
+			p, m := w.Build()
+			cfg := Default()
+			cfg.Mode = mode
+			cfg.MaxRetired = 15_000
+			cfg.MaxCycles = 3_000_000
+			c, err := New(cfg, p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Run()
+			if err := c.rf.checkInvariant(); err != nil {
+				t.Fatalf("%s/%s: %v", name, mode, err)
+			}
+		}
+	}
+}
+
+func TestRetirementIsProgramOrder(t *testing.T) {
+	// Instrument retirement: the sequence numbers must be strictly
+	// increasing (wrong-path entries never retire).
+	w, _ := workload.ByName("astar")
+	p, m := w.Build()
+	cfg := Default()
+	cfg.Mode = ModeCDF
+	cfg.MaxRetired = 30_000
+	cfg.MaxCycles = 3_000_000
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeq := int64(-1)
+	for !c.finished {
+		before := c.retired
+		c.Cycle()
+		if c.retired > before {
+			// Check the head-most retired seq by peeking at regNextSeq-ish:
+			// retirement order equals seq order if the oldest live seq only
+			// moves forward.
+			if got := int64(c.oldestLiveSeq()); got < lastSeq {
+				t.Fatalf("oldest live seq went backwards: %d -> %d", lastSeq, got)
+			} else {
+				lastSeq = got
+			}
+		}
+	}
+}
+
+// buildViolationKernel is a kernel whose critical-chain register is written
+// on a rare path: first walks only see the common path, so the rare path
+// triggers dependence violations (Fig. 12's scenario).
+func buildViolationKernel() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	m.AddRegion(0x10000000, 0x10000000+(1<<26), func(a uint64) int64 {
+		return int64(emu.SplitMix64(a))
+	})
+	b := prog.NewBuilder("violation")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), 1<<40)
+	b.MovI(r(2), 0x10000000)
+	b.MovI(r(28), (1<<22)-1)
+	b.MovI(r(3), 0x10000000)
+	b.MovI(r(7), 0)
+	loop := b.Label()
+	b.Load(r(5), r(2), 0) // index load (sequential)
+	b.And(r(6), r(5), r(28))
+	b.Add(r(6), r(6), r(7)) // r7: written on the rare path below!
+	b.ShlI(r(6), r(6), 3)
+	b.Add(r(8), r(3), r(6))
+	b.Load(r(9), r(8), 0) // critical load
+	b.AndI(r(10), r(5), 63)
+	rare := b.ReserveLabel()
+	b.Bne(r(10), r(0), rare)
+	b.AddI(r(7), r(7), 1) // rare path (1/64): writes into the chain
+	b.Place(rare)
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+func TestDependenceViolationsDetectedOnAlternatingPaths(t *testing.T) {
+	// The machine must detect the violations and survive them.
+	c := runProgram(t, buildViolationKernel, ModeCDF, 60_000)
+	st := c.Stats()
+	if st.CDFEntries == 0 {
+		t.Skip("CDF never entered; nothing to check")
+	}
+	if st.DependenceViolations == 0 {
+		t.Log("no dependence violations observed (mask converged quickly); acceptable")
+	}
+	if err := c.rf.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCyclesBackstop(t *testing.T) {
+	p, m := buildALULoop()
+	cfg := Default()
+	cfg.MaxRetired = 0
+	cfg.MaxCycles = 500
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if c.Cycles() != 500 {
+		t.Fatalf("ran %d cycles, want 500", c.Cycles())
+	}
+}
+
+func TestProgramRunsToHalt(t *testing.T) {
+	// A short program must retire its halt and stop on its own.
+	b := prog.NewBuilder("short")
+	b.MovI(r(1), 3)
+	b.MovI(r(0), 0)
+	loop := b.Label()
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	p := b.MustProgram()
+	cfg := Default()
+	c, err := New(cfg, p, emu.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !c.Finished() {
+		t.Fatal("program should finish")
+	}
+	if c.Stats().RetiredUops != 9 { // 2 init + 3x2 loop + halt
+		t.Fatalf("retired %d uops, want 9", c.Stats().RetiredUops)
+	}
+}
+
+func TestScaleWindow(t *testing.T) {
+	cfg := Default()
+	big := ScaleWindow(cfg, 704)
+	if big.ROBSize != 704 {
+		t.Fatal("ROB not scaled")
+	}
+	if big.RSSize != cfg.RSSize*2 || big.LQSize != cfg.LQSize*2 || big.SQSize != cfg.SQSize*2 {
+		t.Fatalf("structures not scaled proportionally: %+v", big)
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	small := ScaleWindow(cfg, 176)
+	if small.RSSize != cfg.RSSize/2 {
+		t.Fatal("downscale wrong")
+	}
+}
+
+func TestLargerWindowHelpsMemoryKernel(t *testing.T) {
+	w, _ := workload.ByName("roms")
+	run := func(rob int) float64 {
+		p, m := w.Build()
+		cfg := ScaleWindow(Default(), rob)
+		cfg.MaxRetired = 40_000
+		cfg.MaxCycles = 8_000_000
+		c, err := New(cfg, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		return c.Stats().IPC()
+	}
+	small, large := run(192), run(704)
+	if large <= small {
+		t.Fatalf("IPC should scale with window on roms: [192]=%.3f, [704]=%.3f", small, large)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Width = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero width should fail")
+	}
+	bad = Default()
+	bad.PRFSize = 100
+	if bad.Validate() == nil {
+		t.Fatal("tiny PRF should fail")
+	}
+	bad = Default()
+	bad.WrongPathLoadFrac = 2
+	if bad.Validate() == nil {
+		t.Fatal("bad wrong-path fraction should fail")
+	}
+	bad = Default()
+	bad.Ports[isa.PortLoad] = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero load ports should fail")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBaseline.String() != "baseline" || ModeCDF.String() != "cdf" || ModePRE.String() != "pre" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestWrongPathInjectionDisabled(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	run := func(frac float64) uint64 {
+		p, m := w.Build()
+		cfg := Default()
+		cfg.WrongPathLoadFrac = frac
+		cfg.MaxRetired = 20_000
+		cfg.MaxCycles = 8_000_000
+		c, err := New(cfg, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		return c.Stats().WrongPathLoads
+	}
+	if got := run(0); got != 0 {
+		t.Fatalf("WrongPathLoadFrac=0 still injected %d loads", got)
+	}
+	if got := run(0.25); got == 0 {
+		t.Fatal("mcf at 50% branch MPKI must inject wrong-path loads")
+	}
+}
+
+// buildMemViolationKernel: a store whose address resolves slowly (behind a
+// divide chain) aliases a load that issues speculatively — the classic
+// memory-order violation the disambiguation logic must catch (§3.5).
+func buildMemViolationKernel() (*prog.Program, *emu.Memory) {
+	b := prog.NewBuilder("memviol")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), 1<<40)
+	b.MovI(r(2), 0x30000)
+	b.MovI(r(3), 3)
+	loop := b.Label()
+	// Slow address: addr = (((0x30000*3)/3)*3)/3 ... keeps the STA late.
+	b.Mov(r(4), r(2))
+	b.Mul(r(4), r(4), r(3))
+	b.Div(r(4), r(4), r(3))
+	b.Mul(r(4), r(4), r(3))
+	b.Div(r(4), r(4), r(3))
+	b.AddI(r(5), r(5), 1)
+	b.Store(r(4), 0, r(5)) // address known only after the div chain
+	b.Load(r(6), r(2), 0)  // same word; issues long before the store's STA
+	b.Add(r(7), r(7), r(6))
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), emu.NewMemory()
+}
+
+func TestMemoryOrderViolationDetected(t *testing.T) {
+	c := runProgram(t, buildMemViolationKernel, ModeBaseline, 20_000)
+	st := c.Stats()
+	if st.MemOrderViolations == 0 {
+		t.Fatal("aliasing load/store with late STA should trigger memory-order violations")
+	}
+	// The machine must survive them and still make good progress.
+	if st.IPC() < 0.2 {
+		t.Fatalf("IPC %.3f collapsed under violations", st.IPC())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryOrderViolationInCDFMode(t *testing.T) {
+	c := runProgram(t, buildMemViolationKernel, ModeCDF, 20_000)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p, m := buildALULoop()
+	cfg := Default()
+	cfg.MaxRetired = 1_000
+	cfg.MaxCycles = 100_000
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if c.Hierarchy() == nil || c.Predictor() == nil || c.UopCache() == nil {
+		t.Fatal("nil accessor")
+	}
+	if c.Retired() < 1_000 {
+		t.Fatalf("Retired() = %d", c.Retired())
+	}
+	if c.Cycles() == 0 {
+		t.Fatal("Cycles() = 0")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import "cdf/internal/cdf"
+
+// trainCriticality runs the retire-side CDF machinery (§3.2): Critical
+// Count Table updates, Fill Buffer collection, walks, Mask Cache resets,
+// and the density-driven counter selection. It runs for ModeCDF, ModePRE
+// (with PRE's restricted marking), and observe-only baselines.
+func (c *Core) trainCriticality(e *entry) {
+	machineryOn := c.cfg.Mode != ModeBaseline || c.cfg.TrainCriticality
+	if !machineryOn {
+		return
+	}
+
+	// Counter training. PRE marks only loads that cause full-window stalls
+	// (done at stall onset in endOfCycle), so per-retire updates are
+	// CDF-only.
+	if c.cfg.Mode != ModePRE {
+		if e.op.IsLoad() {
+			c.loadCCT.Update(e.dyn.PC, e.llcMiss)
+		}
+		if e.op.IsCondBranch() && c.cfg.CDF.MarkCriticalBranches {
+			c.branchCCT.Update(e.dyn.PC, e.mispredict)
+		}
+	}
+
+	// Mask Cache decay.
+	if c.retired-c.lastMaskRst >= c.cfg.CDF.MaskResetInterval {
+		c.maskc.Reset()
+		c.lastMaskRst = c.retired
+	}
+
+	// Fill Buffer collection epochs: every WalkInterval retired uops,
+	// collect FillBufferSize retired uops and walk them — unless the
+	// machinery is still busy with the previous walk.
+	if c.now < c.machBusy {
+		return
+	}
+	if !c.collecting {
+		if c.retired-c.lastEpochAt < c.cfg.CDF.WalkInterval {
+			return
+		}
+		c.collecting = true
+	}
+
+	blk := c.prg.Blocks[e.dyn.BlockID]
+	rec := cdf.Record{
+		PC:           e.dyn.PC,
+		BlockPC:      c.prg.BlockPC(e.dyn.BlockID),
+		Index:        e.dyn.Index,
+		BlockLen:     len(blk.Uops),
+		EndsInBranch: blk.EndsInBranch(),
+		Op:           e.dyn.U.Op,
+		Dst:          e.dyn.U.Dst,
+		Src1:         e.dyn.U.Src1,
+		Src2:         e.dyn.U.Src2,
+	}
+	if e.op.IsMem() {
+		rec.MemLine = e.dyn.Addr / c.cfg.Mem.LineBytes
+	}
+	switch {
+	case e.op.IsLoad():
+		rec.Seed = c.loadCCT.Predict(e.dyn.PC)
+	case e.op.IsCondBranch() && c.cfg.CDF.MarkCriticalBranches && c.cfg.Mode != ModePRE:
+		rec.Seed = c.branchCCT.Predict(e.dyn.PC)
+	}
+	c.fb.Insert(rec)
+
+	if !c.fb.Full() {
+		return
+	}
+	res := c.fb.Walk()
+	c.collecting = false
+	c.lastEpochAt = c.retired
+	c.machBusy = c.now + res.Latency
+	c.st.FillBufferWalks++
+	c.st.TracesInstalled += uint64(res.Installs)
+	if res.TooSparse {
+		c.st.WalksRejectedSparse++
+	}
+	if res.TooDense {
+		c.st.WalksRejectedDense++
+	}
+
+	// Dynamic counter selection (§3.2): too few instructions marked
+	// critical -> switch to the permissive counters; plenty -> strict.
+	switch {
+	case res.Density < c.cfg.CDF.DensityLo:
+		c.loadCCT.UsePermissive(true)
+		c.branchCCT.UsePermissive(true)
+	case res.Density > c.cfg.CDF.DensityHi:
+		c.loadCCT.UsePermissive(false)
+		c.branchCCT.UsePermissive(false)
+	}
+}

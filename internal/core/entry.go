@@ -1,0 +1,150 @@
+package core
+
+import (
+	"cdf/internal/branch"
+	"cdf/internal/emu"
+	"cdf/internal/isa"
+)
+
+// uopState tracks an in-flight uop through the backend.
+type uopState uint8
+
+const (
+	stateWaiting   uopState = iota // in RS, sources not ready
+	stateReady                     // in RS, ready to issue
+	stateExecuting                 // issued, completing at doneAt
+	stateDone                      // result produced
+)
+
+// entry is one in-flight uop. Program order is the (seq, sub) pair: sub is
+// zero for correct-path uops and a positive index for modelled wrong-path
+// slots younger than the branch at seq.
+type entry struct {
+	seq uint64
+	sub uint32
+
+	dyn       emu.DynUop // correct-path record (zero for wrong-path slots)
+	op        isa.Op     // cached opcode (synthesized for wrong-path slots)
+	wrongPath bool
+
+	critical     bool // allocated via the critical stream / marked critical
+	obsCritical  bool // observe-only mark (Fig. 1 sampling)
+	fetchedInCDF bool
+
+	// Rename state. Physical registers are int16 indices; -1 means none.
+	dstPhys     int16
+	prevCrit    int16 // critical RAT's previous mapping of dst (CDF rename)
+	prevReg     int16 // regular RAT's previous mapping of dst
+	src1        int16
+	src2        int16
+	critRenamed bool // renamed by the critical rename stage
+	regRenamed  bool // renamed (or replayed) by the regular rename stage
+
+	state  uopState
+	doneAt uint64
+	inRS   bool
+
+	// Memory state.
+	addr       uint64
+	addrReady  bool
+	issuedMem  bool
+	llcMiss    bool
+	forwarded  bool
+	inLQ, inSQ bool
+
+	// Branch state.
+	pred       branch.Prediction
+	mispredict bool // oracle: fetched with a wrong prediction
+	resolved   bool
+
+	// Replay markers: the regular stream's copy of a critical uop. Replay
+	// entries are never allocated into the backend; at rename they replay
+	// replayOf's mapping from the Critical Map Queue and are discarded.
+	isReplay bool
+	replayOf *entry
+}
+
+// younger reports whether e is younger than (seq, sub) in program order.
+func (e *entry) younger(seq uint64, sub uint32) bool {
+	return e.seq > seq || (e.seq == seq && e.sub > sub)
+}
+
+// youngerEq reports program-order younger-or-equal.
+func (e *entry) youngerEq(seq uint64, sub uint32) bool {
+	return e.seq > seq || (e.seq == seq && e.sub >= sub)
+}
+
+// before reports whether e precedes f in program order.
+func (e *entry) before(f *entry) bool {
+	return e.seq < f.seq || (e.seq == f.seq && e.sub < f.sub)
+}
+
+// hasDst reports whether the entry writes a physical register.
+func (e *entry) hasDst() bool { return e.dstPhys >= 0 }
+
+// fifo is a program-ordered list of in-flight entries used for the ROB
+// sections and the LQ/SQ sections. Entries are appended in allocation order
+// (which is program order within a section) and removed from the front at
+// retire or anywhere by flush.
+type fifo struct {
+	items []*entry
+}
+
+func (f *fifo) len() int    { return len(f.items) }
+func (f *fifo) empty() bool { return len(f.items) == 0 }
+func (f *fifo) head() *entry {
+	if len(f.items) == 0 {
+		return nil
+	}
+	return f.items[0]
+}
+func (f *fifo) push(e *entry) { f.items = append(f.items, e) }
+func (f *fifo) popHead() *entry {
+	e := f.items[0]
+	copy(f.items, f.items[1:])
+	f.items[len(f.items)-1] = nil
+	f.items = f.items[:len(f.items)-1]
+	return e
+}
+
+// insertOrdered places e at its program-order position (the LQ/SQ hold
+// critical and non-critical uops interleaved in program order even though
+// they allocate out of order).
+func (f *fifo) insertOrdered(e *entry) {
+	i := len(f.items)
+	for i > 0 && e.before(f.items[i-1]) {
+		i--
+	}
+	f.items = append(f.items, nil)
+	copy(f.items[i+1:], f.items[i:])
+	f.items[i] = e
+}
+
+// flushYounger removes entries younger than (seq, sub) — strictly, or
+// inclusive of (seq, sub) itself when inclusive is set — returning the
+// removed entries youngest-first (the order rename undo needs).
+func (f *fifo) flushYounger(seq uint64, sub uint32, inclusive bool) []*entry {
+	keep := f.items[:0]
+	var removed []*entry
+	for _, e := range f.items {
+		drop := e.younger(seq, sub)
+		if inclusive {
+			drop = e.youngerEq(seq, sub)
+		}
+		if drop {
+			removed = append(removed, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	// Clear the tail so flushed entries do not linger.
+	for i := len(keep); i < len(f.items); i++ {
+		f.items[i] = nil
+	}
+	f.items = keep
+	// Youngest first.
+	for i, j := 0, len(removed)-1; i < j; i, j = i+1, j-1 {
+		removed[i], removed[j] = removed[j], removed[i]
+	}
+	return removed
+}

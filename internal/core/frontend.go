@@ -1,0 +1,539 @@
+package core
+
+import (
+	"fmt"
+
+	"cdf/internal/isa"
+)
+
+// fetch runs both fetch engines for one cycle: the CDF critical fetcher
+// (when in CDF mode) and the regular fetcher.
+func (c *Core) fetch() {
+	if c.cdfOn && !c.cdfExitPending {
+		c.critFetch()
+	}
+	c.regFetch()
+}
+
+// actualTarget returns the resolved next PC of a taken branch.
+func actualTarget(d *streamRec) uint64 { return d.dyn.NextPC }
+
+// retContinuationPC returns the return continuation a call pushes: the PC
+// right after the call (its block's fallthrough start).
+func (c *Core) retContinuationPC(rec *streamRec) uint64 {
+	blk := c.prg.Blocks[rec.dyn.BlockID]
+	if blk.Fallthrough >= 0 {
+		return c.prg.BlockPC(blk.Fallthrough)
+	}
+	return rec.dyn.PC + 8
+}
+
+// --- regular fetch engine ---
+
+func (c *Core) regFetch() {
+	if c.now < c.fetchStallUntil {
+		c.st.FetchStallCycles++
+		return
+	}
+	if c.regWPActive {
+		c.emitWrongPath(false)
+		return
+	}
+
+	budget := c.cfg.Width
+	lineAccesses := 0
+	for budget > 0 {
+		// The decode/uop queue is finite: fetch throttles when rename backs
+		// up (2 cycles of slack beyond the decode pipe contents).
+		if len(c.fetchQ) >= (c.cfg.DecodeLat+2)*c.cfg.Width {
+			break
+		}
+		// CDF gating: the regular stream may not pass positions the
+		// critical fetcher has not examined yet (its branch predictions
+		// come from the Delayed Branch Queue).
+		if c.cdfOn && !c.cdfExitPending && c.regSeq >= c.critScanSeq {
+			break
+		}
+		rec := c.strm.At(c.regSeq)
+		if rec == nil {
+			break // program fetched to completion; pipeline drains
+		}
+		dyn := &rec.dyn
+
+		// I-cache: account one access per distinct line, at most two lines
+		// per cycle.
+		line := dyn.PC / c.cfg.Mem.LineBytes
+		if !c.haveFetchLine || line != c.lastFetchLine {
+			lineAccesses++
+			if lineAccesses > 2 {
+				break
+			}
+			done := c.hier.FetchInst(dyn.PC, c.now)
+			c.lastFetchLine, c.haveFetchLine = line, true
+			if done > c.now+uint64(c.cfg.Mem.L1ILatency) {
+				c.fetchStallUntil = done
+				break
+			}
+		}
+
+		// Observe-only criticality marking for Fig. 1 sampling.
+		if c.cfg.TrainCriticality && !rec.markedCritical && dyn.Index < 64 {
+			if tr, ok := c.cuc.Probe(c.prg.BlockPC(dyn.BlockID)); ok && tr.Mask&(1<<uint(dyn.Index)) != 0 {
+				rec.markedCritical = true
+			}
+		}
+
+		// CDF mode entry: a Critical Uop Cache hit at a block boundary.
+		if (c.cfg.Mode == ModeCDF || c.cfg.Mode == ModeHybrid) && !c.cdfOn && dyn.Index == 0 && c.now >= c.machBusy {
+			if tr, ok := c.cuc.Lookup(dyn.PC); ok && !tr.NoEnter {
+				c.enterCDF(c.regSeq)
+				break // critical fetch takes over from this position
+			}
+		}
+
+		isCritPos := c.cdfOn && rec.fetchedCritical && rec.epoch == c.cdfEpoch
+
+		var e *entry
+		if isCritPos {
+			// The regular stream refetches critical uops from the I-cache
+			// and discards them at rename (replaying their mapping).
+			e = &entry{seq: c.regSeq, op: dyn.U.Op, isReplay: true, replayOf: rec.critEntry, fetchedInCDF: true}
+		} else {
+			e = &entry{seq: c.regSeq, dyn: *dyn, op: dyn.U.Op, fetchedInCDF: c.cdfOn,
+				obsCritical: rec.markedCritical,
+				dstPhys:     -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1}
+		}
+
+		if dyn.U.Op.IsBranch() {
+			if c.cdfOn && c.regSeq < c.critScanSeq {
+				// Prediction comes from the Delayed Branch Queue.
+				if len(c.dbq) == 0 {
+					break // wait for the critical fetcher
+				}
+				de := c.dbq[0]
+				if de.seq != c.regSeq {
+					panic(errInternal("DBQ head seq %d != fetch seq %d", de.seq, c.regSeq))
+				}
+				c.dbq = c.dbq[:copy(c.dbq, c.dbq[1:])]
+				if de.wrong {
+					// Follow the wrong path until this branch resolves. For
+					// a non-critical branch, the instance fetched here is
+					// the one that resolves; mark it.
+					if !isCritPos {
+						e.mispredict = true
+					}
+					c.pushFetch(e)
+					c.startRegWrongPath(c.regSeq)
+					c.regSeq++
+					return
+				}
+			} else {
+				// Normal prediction (baseline, or CDF exit drain).
+				if c.predictAndCheck(e, rec) {
+					// Mispredicted: fetch the branch, then go wrong-path.
+					c.pushFetch(e)
+					c.startRegWrongPath(c.regSeq)
+					c.regSeq++
+					return
+				}
+				if c.now < c.fetchStallUntil {
+					// BTB re-steer bubble: branch still fetched this cycle.
+					c.pushFetch(e)
+					c.regSeq++
+					return
+				}
+			}
+		}
+
+		c.pushFetch(e)
+		c.regSeq++
+		budget--
+		if dyn.Last {
+			break
+		}
+	}
+}
+
+// predictAndCheck runs the branch predictor for e, trains it with the
+// oracle outcome, and reports whether the prediction was wrong (direction or
+// taken-target). BTB misses with a correct direction cost a re-steer bubble
+// instead.
+func (c *Core) predictAndCheck(e *entry, rec *streamRec) (mispredicted bool) {
+	dyn := &rec.dyn
+	op := dyn.U.Op
+	pr := c.pred.Predict(op, dyn.PC, c.retContinuationPC(rec))
+	e.pred = pr
+	if pr.Cond {
+		c.st.CondBranches++
+	}
+	c.pred.Update(op, dyn.PC, dyn.Taken, actualTarget(rec), pr)
+
+	dirWrong := pr.Taken != dyn.Taken
+	if dirWrong {
+		e.mispredict = true
+		return true
+	}
+	if dyn.Taken {
+		if !pr.TargetHit {
+			// Target computed at decode: short re-steer.
+			c.st.BTBMisses++
+			c.fetchStallUntil = c.now + uint64(c.cfg.BTBMissPenalty)
+			return false
+		}
+		if pr.Target != dyn.NextPC {
+			e.mispredict = true
+			return true
+		}
+	}
+	return false
+}
+
+// pushFetch enqueues a fetched uop into the decode pipe.
+func (c *Core) pushFetch(e *entry) {
+	c.fetchQ = append(c.fetchQ, fqItem{e: e, at: c.now + uint64(c.cfg.DecodeLat)})
+	c.st.FetchedUops++
+	if c.tracer != nil {
+		desc := e.op.String()
+		if e.isReplay {
+			desc += " (replay)"
+		}
+		if e.wrongPath {
+			desc = "wrong-path " + desc
+		}
+		c.traceEvent("fetch", e, desc)
+	}
+}
+
+// wpMissBudgetPerEpisode bounds how many wrong-path loads per misprediction
+// episode get novel (certainly-missing) addresses; the rest re-touch
+// recently used lines and mostly hit. Real wrong paths run nearby code over
+// nearby data, so most of their accesses hit the caches — without this the
+// modelled wrong path would flood DRAM far beyond what hardware shows.
+const wpMissBudgetPerEpisode = 4
+
+// startRegWrongPath puts the regular fetch engine on the modelled wrong
+// path behind the mispredicted branch at brSeq.
+func (c *Core) startRegWrongPath(brSeq uint64) {
+	c.regWPActive = true
+	c.regWPSeq = brSeq
+	c.resetWPBudget(brSeq)
+}
+
+// startCritWrongPath does the same for the critical fetch engine.
+// brCritical records whether the mispredicted branch is itself critical: a
+// critical branch resolves early (its instance executes in the critical
+// stream) and CDF mode survives the recovery (§3.6); a non-critical one
+// resolves only when the in-order stream reaches it, and the wrong-path
+// walk soon dies on a Critical Uop Cache miss, exiting CDF mode.
+func (c *Core) startCritWrongPath(brSeq uint64, brCritical bool) {
+	c.critWPActive = true
+	c.critWPSeq = brSeq
+	c.critWPCritBr = brCritical
+	c.critWPEmitted = 0
+	c.resetWPBudget(brSeq)
+}
+
+// resetWPBudget refreshes the per-episode novel-miss budget. Both fetch
+// engines walking the wrong path behind the *same* branch share one budget:
+// they model the same off-path code.
+func (c *Core) resetWPBudget(brSeq uint64) {
+	if c.wpBudgetSeq == brSeq {
+		return
+	}
+	c.wpBudgetSeq = brSeq
+	c.wpMissBudget = wpMissBudgetPerEpisode
+}
+
+// emitWrongPath delivers modelled wrong-path slots from one fetch engine.
+// Slots consume frontend and window resources and (with probability
+// WrongPathLoadFrac) issue loads at synthesized near-path addresses,
+// generating the wrong-path memory traffic the paper's Fig. 15 measures.
+func (c *Core) emitWrongPath(critical bool) {
+	if c.cfg.WrongPathLoadFrac == 0 {
+		return
+	}
+	brSeq := c.regWPSeq
+	if critical {
+		brSeq = c.critWPSeq
+	}
+	lat := uint64(c.cfg.DecodeLat)
+	if critical {
+		lat = uint64(c.cfg.CritDecodeLat)
+	}
+	if q := c.fetchQ; !critical && len(q) >= (c.cfg.DecodeLat+2)*c.cfg.Width {
+		return
+	}
+	if critical && len(c.critQ) >= 4*c.cfg.Width {
+		return
+	}
+	for i := 0; i < c.cfg.Width; i++ {
+		c.wpCounter++
+		e := &entry{
+			seq: brSeq, sub: c.wpCounter, wrongPath: true,
+			critical: critical, fetchedInCDF: c.cdfOn,
+			dstPhys: -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1,
+		}
+		if c.rand01() < c.cfg.WrongPathLoadFrac {
+			e.op = isa.OpLoad
+			e.addr = c.synthWrongPathAddr()
+		} else {
+			e.op = isa.OpAdd
+		}
+		it := fqItem{e: e, at: c.now + lat}
+		if critical {
+			c.critQ = append(c.critQ, it)
+		} else {
+			c.fetchQ = append(c.fetchQ, it)
+		}
+		c.st.FetchedUops++
+	}
+}
+
+// --- CDF critical fetch engine (§3.3) ---
+
+// critFetch processes one basic block per cycle from the Critical Uop
+// Cache: emit its critical uops, predict its terminating branch (recording
+// the prediction in the Delayed Branch Queue), and advance to the next
+// block.
+func (c *Core) critFetch() {
+	if c.now < c.critStallUntil {
+		return
+	}
+	if c.critWPActive {
+		// The critical fetcher on a wrong path emits a short burst of
+		// off-path work, then either idles until the (critical) branch
+		// resolves early, or — for a non-critical branch whose resolution
+		// must wait for the in-order stream — dies on a Critical Uop Cache
+		// miss and triggers the §3.6 mode exit.
+		if c.critWPEmitted >= 2*c.cfg.Width {
+			if !c.critWPCritBr {
+				c.beginCDFExit()
+			}
+			return
+		}
+		c.emitWrongPath(true)
+		c.critWPEmitted += c.cfg.Width
+		return
+	}
+	// Structural limits: DBQ space for the block's branch, and room in the
+	// critical instruction buffer.
+	if len(c.dbq) >= c.cfg.CDF.DBQSize || len(c.critQ) >= 4*c.cfg.Width {
+		return
+	}
+
+	rec := c.strm.At(c.critScanSeq)
+	if rec == nil {
+		c.beginCDFExit()
+		return
+	}
+	dyn := &rec.dyn
+	if dyn.Index != 0 {
+		panic(errInternal("critical fetch not block-aligned at seq %d (B%d[%d])", c.critScanSeq, dyn.BlockID, dyn.Index))
+	}
+	blockPC := c.prg.BlockPC(dyn.BlockID)
+	tr, ok := c.cuc.Lookup(blockPC)
+	if !ok {
+		// §3.6 exit condition (a): Critical Uop Cache miss.
+		c.beginCDFExit()
+		return
+	}
+
+	blk := c.prg.Blocks[dyn.BlockID]
+	blen := len(blk.Uops)
+
+	// Emit the block's critical uops.
+	for i := 0; i < blen; i++ {
+		pos := c.critScanSeq + uint64(i)
+		r := c.strm.At(pos)
+		if r == nil {
+			c.critScanSeq = pos
+			c.beginCDFExit()
+			return
+		}
+		if i < 64 && tr.Mask&(1<<uint(i)) != 0 {
+			e := &entry{seq: pos, dyn: r.dyn, op: r.dyn.U.Op,
+				critical: true, fetchedInCDF: true,
+				dstPhys: -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1}
+			r.fetchedCritical = true
+			r.critEntry = e
+			r.epoch = c.cdfEpoch
+			r.markedCritical = true
+			c.critQ = append(c.critQ, fqItem{e: e, at: c.now + uint64(c.cfg.CritDecodeLat)})
+			c.st.CriticalUopsFetched++
+			c.traceEvent("fetch", e, "critical "+e.op.String())
+		}
+	}
+
+	// Multi-line traces take extra cycles to read out.
+	if tr.Lines > 1 {
+		c.critStallUntil = c.now + uint64(tr.Lines-1)
+	}
+
+	// Block-ending control flow.
+	lastPos := c.critScanSeq + uint64(blen) - 1
+	lastRec := c.strm.At(lastPos)
+	if lastRec == nil {
+		c.beginCDFExit()
+		return
+	}
+	last := &lastRec.dyn
+	if last.U.Op == isa.OpHalt {
+		c.critScanSeq = lastPos + 1
+		c.beginCDFExit()
+		return
+	}
+	if last.U.Op.IsBranch() {
+		pr := c.pred.Predict(last.U.Op, last.PC, c.retContinuationPC(lastRec))
+		if pr.Cond {
+			c.st.CondBranches++
+		}
+		c.pred.Update(last.U.Op, last.PC, last.Taken, last.NextPC, pr)
+
+		wrong := pr.Taken != last.Taken ||
+			(last.Taken && (!pr.TargetHit || pr.Target != last.NextPC))
+		target := pr.Target
+		if !pr.Taken {
+			target = last.PC + 8
+		}
+		c.dbq = append(c.dbq, dbqEntry{seq: lastPos, taken: pr.Taken, target: target, wrong: wrong})
+
+		if ce := lastRec.critEntry; lastRec.fetchedCritical && lastRec.epoch == c.cdfEpoch && ce != nil && ce.seq == lastPos {
+			ce.pred = pr
+			if wrong {
+				ce.mispredict = true
+			}
+		}
+		if wrong {
+			// Critical fetch proceeds down the wrong path (modelled) until
+			// the branch resolves — early if the branch itself is critical.
+			brCritical := blen-1 < 64 && tr.Mask&(1<<uint(blen-1)) != 0
+			c.critScanSeq = lastPos + 1
+			c.startCritWrongPath(lastPos, brCritical)
+			return
+		}
+	}
+	c.critScanSeq = lastPos + 1
+}
+
+// enterCDF begins CDF mode with the critical stream starting at seq.
+func (c *Core) enterCDF(seq uint64) {
+	c.cdfOn = true
+	c.cdfExitPending = false
+	c.cdfEntrySeq = seq
+	c.critScanSeq = seq
+	c.cdfEpoch++
+	c.rf.clearPoison()
+	c.st.CDFEntries++
+	c.traceMode(fmt.Sprintf("enter CDF mode at seq %d", seq))
+	if c.robPart != nil {
+		c.robPart.SetDesired(c.cfg.ROBSize * 3 / 4)
+		c.lqPart.SetDesired(c.cfg.LQSize * 3 / 4)
+		c.sqPart.SetDesired(c.cfg.SQSize * 3 / 4)
+	}
+}
+
+// beginCDFExit stops the critical fetcher; the mode drains and finalizes
+// once the regular stream catches up (§3.6 "Exiting CDF mode").
+func (c *Core) beginCDFExit() {
+	if c.cdfExitPending {
+		return
+	}
+	c.cdfExitPending = true
+	if c.robPart != nil {
+		c.robPart.SetDesired(0)
+		c.lqPart.SetDesired(0)
+		c.sqPart.SetDesired(0)
+	}
+}
+
+// maybeFinalizeCDFExit completes a pending exit once the regular stream has
+// consumed every critically-fetched position.
+func (c *Core) maybeFinalizeCDFExit() {
+	if !c.cdfOn || !c.cdfExitPending {
+		return
+	}
+	if c.regNextSeq < c.critScanSeq {
+		return
+	}
+	if len(c.cmq) != 0 || len(c.critQ) != 0 {
+		return
+	}
+	c.exitCDFNow()
+}
+
+// exitCDFNow drops all CDF mode state immediately (violations, regular-mode
+// branch recovery, or a completed drain).
+func (c *Core) exitCDFNow() {
+	c.cdfOn = false
+	c.cdfExitPending = false
+	c.critWPActive = false
+	c.rf.dropCritRAT()
+	c.rf.clearPoison()
+	c.dbq = c.dbq[:0]
+	c.cmq = c.cmq[:0]
+	c.critQ = c.critQ[:0]
+	c.cdfEpoch++
+	c.st.CDFExits++
+	c.traceMode("exit CDF mode")
+}
+
+// --- wrong-path address synthesis ---
+
+// rand01 returns a deterministic pseudo-random float in [0,1).
+func (c *Core) rand01() float64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return float64(c.rng>>11) / float64(1<<53)
+}
+
+// randomRecentLine hands the runahead engine a recently-touched demand
+// line to base wrong-chain addresses on.
+func (c *Core) randomRecentLine() (uint64, bool) {
+	n := c.recentN
+	if n > len(c.recentLines) {
+		n = len(c.recentLines)
+	}
+	if n == 0 {
+		return 0, false
+	}
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.recentLines[c.rng%uint64(n)], true
+}
+
+// noteLoadLine remembers a demand load's line for wrong-path synthesis.
+func (c *Core) noteLoadLine(line uint64) {
+	c.recentLines[c.recentN%len(c.recentLines)] = line
+	c.recentN++
+}
+
+// synthWrongPathAddr produces a plausible wrong-path load address: usually
+// a recently-touched line (wrong-path code mostly re-reads warm data and
+// hits the caches), occasionally — within the per-episode miss budget — a
+// novel nearby line that misses and generates the wrong-path DRAM traffic
+// Fig. 15 accounts for.
+func (c *Core) synthWrongPathAddr() uint64 {
+	n := c.recentN
+	if n > len(c.recentLines) {
+		n = len(c.recentLines)
+	}
+	if n == 0 {
+		return 0x100000
+	}
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	base := c.recentLines[c.rng%uint64(n)]
+	if c.wpMissBudget <= 0 || c.rng&3 != 0 {
+		return base * c.cfg.Mem.LineBytes // warm line: near-certain hit
+	}
+	c.wpMissBudget--
+	off := int64(c.rng>>32)%4097 - 2048
+	line := int64(base) + off
+	if line < 0 {
+		line = int64(base)
+	}
+	return uint64(line) * c.cfg.Mem.LineBytes
+}

@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the machine's structural invariants. It is
+// O(window) and meant for tests (run it every cycle on short workloads);
+// the simulator never calls it on its own.
+//
+// Invariants checked:
+//
+//  1. ROB sections, LQ, SQ, and the RS are in program order.
+//  2. Occupancies respect capacities and partition caps.
+//  3. Per-section criticality: robCrit holds only critical entries,
+//     robNon only non-critical ones; lqCrit/sqCrit/rsCrit counters match.
+//  4. No physical register is both free and mapped by a RAT.
+//  5. Every in-flight entry with a destination owns a physical register.
+//  6. CMQ entries are critical, renamed, and in program order.
+//  7. The DBQ is in program order.
+func (c *Core) CheckInvariants() error {
+	if err := checkOrdered("robCrit", c.robCrit.items); err != nil {
+		return err
+	}
+	if err := checkOrdered("robNon", c.robNon.items); err != nil {
+		return err
+	}
+	if err := checkOrdered("LQ", c.lq.items); err != nil {
+		return err
+	}
+	if err := checkOrdered("SQ", c.sq.items); err != nil {
+		return err
+	}
+	if err := checkOrdered("RS", c.rs); err != nil {
+		return err
+	}
+
+	if c.robOccupancy() > c.cfg.ROBSize {
+		return fmt.Errorf("ROB occupancy %d > %d", c.robOccupancy(), c.cfg.ROBSize)
+	}
+	if len(c.lq.items) > c.cfg.LQSize {
+		return fmt.Errorf("LQ occupancy %d > %d", len(c.lq.items), c.cfg.LQSize)
+	}
+	if len(c.sq.items) > c.cfg.SQSize {
+		return fmt.Errorf("SQ occupancy %d > %d", len(c.sq.items), c.cfg.SQSize)
+	}
+	if len(c.rs) > c.cfg.RSSize {
+		return fmt.Errorf("RS occupancy %d > %d", len(c.rs), c.cfg.RSSize)
+	}
+
+	for _, e := range c.robCrit.items {
+		if !e.critical {
+			return fmt.Errorf("non-critical entry %d.%d in critical ROB section", e.seq, e.sub)
+		}
+	}
+	for _, e := range c.robNon.items {
+		if e.critical {
+			return fmt.Errorf("critical entry %d.%d in non-critical ROB section", e.seq, e.sub)
+		}
+	}
+
+	lqCrit, sqCrit, rsCrit := 0, 0, 0
+	for _, e := range c.lq.items {
+		if e.critical {
+			lqCrit++
+		}
+	}
+	for _, e := range c.sq.items {
+		if e.critical {
+			sqCrit++
+		}
+	}
+	for _, e := range c.rs {
+		if e.critical {
+			rsCrit++
+		}
+		if !e.inRS {
+			return fmt.Errorf("RS holds entry %d.%d with inRS unset", e.seq, e.sub)
+		}
+	}
+	if lqCrit != c.lqCrit {
+		return fmt.Errorf("lqCrit counter %d != actual %d", c.lqCrit, lqCrit)
+	}
+	if sqCrit != c.sqCrit {
+		return fmt.Errorf("sqCrit counter %d != actual %d", c.sqCrit, sqCrit)
+	}
+	if rsCrit != c.rsCrit {
+		return fmt.Errorf("rsCrit counter %d != actual %d", c.rsCrit, rsCrit)
+	}
+
+	if err := c.rf.checkInvariant(); err != nil {
+		return err
+	}
+	for _, e := range c.robCrit.items {
+		if !e.wrongPath && e.dyn.U.Op.HasDst() && e.critRenamed && e.dstPhys < 0 {
+			return fmt.Errorf("renamed critical entry %d has no phys reg", e.seq)
+		}
+	}
+
+	// CMQ: critical, critically renamed, program-ordered.
+	for i, e := range c.cmq {
+		if !e.critical || !e.critRenamed {
+			return fmt.Errorf("CMQ[%d] holds a non-renamed or non-critical entry", i)
+		}
+		if i > 0 && !c.cmq[i-1].before(e) {
+			return fmt.Errorf("CMQ out of order at %d", i)
+		}
+	}
+	// DBQ: program-ordered.
+	for i := 1; i < len(c.dbq); i++ {
+		if c.dbq[i].seq <= c.dbq[i-1].seq {
+			return fmt.Errorf("DBQ out of order at %d", i)
+		}
+	}
+
+	// Partition caps (when active).
+	if c.robPart != nil {
+		if c.robPart.CritCap+c.robPart.NonCritCap() != c.cfg.ROBSize {
+			return fmt.Errorf("ROB partition sections do not sum to capacity")
+		}
+	}
+	return nil
+}
+
+func checkOrdered(name string, items []*entry) error {
+	for i := 1; i < len(items); i++ {
+		if !items[i-1].before(items[i]) {
+			return fmt.Errorf("%s out of program order at %d: %d.%d then %d.%d",
+				name, i, items[i-1].seq, items[i-1].sub, items[i].seq, items[i].sub)
+		}
+	}
+	return nil
+}

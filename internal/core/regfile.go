@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"cdf/internal/isa"
+)
+
+// regFile models the physical register file, the free list, and the two
+// Register Alias Tables (the regular RAT and, in CDF mode, the critical RAT
+// forked from it at CDF entry, §3.4). Readiness is a bit per physical
+// register, set at writeback.
+type regFile struct {
+	size  int
+	ready []bool
+	free  []int16
+
+	// rat is the regular (architectural, program-order) RAT; poison bits
+	// detect non-critical writers feeding critical readers (§3.6).
+	rat    [isa.NumRegs]int16
+	poison [isa.NumRegs]bool
+
+	// critRAT is valid while critForked.
+	critRAT    [isa.NumRegs]int16
+	critForked bool
+
+	// critInFlight counts physical registers held by in-flight critical
+	// uops, for the PRF partition limit (§3.5).
+	critInFlight int
+}
+
+func newRegFile(size int) *regFile {
+	rf := &regFile{size: size, ready: make([]bool, size)}
+	// Map architectural registers to the first NumRegs physical registers.
+	for r := 0; r < int(isa.NumRegs); r++ {
+		rf.rat[r] = int16(r)
+		rf.ready[r] = true
+	}
+	for p := size - 1; p >= int(isa.NumRegs); p-- {
+		rf.free = append(rf.free, int16(p))
+	}
+	return rf
+}
+
+// freeCount returns the number of free physical registers.
+func (rf *regFile) freeCount() int { return len(rf.free) }
+
+// alloc takes a physical register from the free list.
+func (rf *regFile) alloc() (int16, bool) {
+	if len(rf.free) == 0 {
+		return -1, false
+	}
+	p := rf.free[len(rf.free)-1]
+	rf.free = rf.free[:len(rf.free)-1]
+	rf.ready[p] = false
+	return p, true
+}
+
+// release returns a physical register to the free list.
+func (rf *regFile) release(p int16) {
+	if p < 0 {
+		return
+	}
+	rf.free = append(rf.free, p)
+}
+
+// markReady sets the ready bit (writeback).
+func (rf *regFile) markReady(p int16) {
+	if p >= 0 {
+		rf.ready[p] = true
+	}
+}
+
+// isReady reports operand availability; a negative register is "no operand"
+// and always ready.
+func (rf *regFile) isReady(p int16) bool { return p < 0 || rf.ready[p] }
+
+// forkCritRAT copies the regular RAT into the critical RAT (CDF entry;
+// §3.4: "critical uops ... create a copy of the RAT after the last regular
+// mode instruction has been renamed").
+func (rf *regFile) forkCritRAT() {
+	rf.critRAT = rf.rat
+	rf.critForked = true
+}
+
+// dropCritRAT abandons the critical RAT (CDF exit).
+func (rf *regFile) dropCritRAT() { rf.critForked = false }
+
+// clearPoison resets all poison bits (CDF entry/exit and flushes).
+func (rf *regFile) clearPoison() {
+	for i := range rf.poison {
+		rf.poison[i] = false
+	}
+}
+
+// lookup reads a RAT mapping.
+func (rf *regFile) lookup(r isa.Reg, critical bool) int16 {
+	if !r.Valid() {
+		return -1
+	}
+	if critical {
+		if !rf.critForked {
+			panic("core: critical RAT read before fork")
+		}
+		return rf.critRAT[r]
+	}
+	return rf.rat[r]
+}
+
+// checkInvariant verifies no physical register is both free and mapped;
+// tests call it after flush sequences.
+func (rf *regFile) checkInvariant() error {
+	onFree := make(map[int16]bool, len(rf.free))
+	for _, p := range rf.free {
+		if onFree[p] {
+			return fmt.Errorf("core: phys %d on free list twice", p)
+		}
+		onFree[p] = true
+	}
+	for r := 0; r < int(isa.NumRegs); r++ {
+		if onFree[rf.rat[r]] {
+			return fmt.Errorf("core: phys %d mapped to %s but free", rf.rat[r], isa.Reg(r))
+		}
+	}
+	return nil
+}

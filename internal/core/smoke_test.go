@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"cdf/internal/workload"
+)
+
+// TestSmokeAllWorkloadsAllModes runs every kernel briefly in every mode:
+// the simulator must terminate, retire the requested uops, and produce a
+// sane IPC.
+func TestSmokeAllWorkloadsAllModes(t *testing.T) {
+	for _, w := range workload.All() {
+		for _, mode := range []Mode{ModeBaseline, ModeCDF, ModePRE} {
+			w, mode := w, mode
+			t.Run(w.Name+"/"+mode.String(), func(t *testing.T) {
+				p, m := w.Build()
+				cfg := Default()
+				cfg.Mode = mode
+				cfg.MaxRetired = 20_000
+				cfg.MaxCycles = 4_000_000
+				c, err := New(cfg, p, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Run()
+				st := c.Stats()
+				if st.RetiredUops < cfg.MaxRetired {
+					t.Fatalf("retired only %d/%d uops in %d cycles", st.RetiredUops, cfg.MaxRetired, st.Cycles)
+				}
+				ipc := st.IPC()
+				if ipc <= 0.01 || ipc > float64(cfg.Width) {
+					t.Fatalf("implausible IPC %.3f", ipc)
+				}
+				t.Logf("ipc=%.3f llcMPKI=%.2f brMPKI=%.2f mlp=%.2f cdfCycles=%d",
+					ipc, st.LLCMPKI(), st.BranchMPKI(), st.MLP(), st.CDFModeCycles)
+			})
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import "cdf/internal/emu"
+
+// streamRec is one dynamic uop in the lookahead window, with per-position
+// frontend bookkeeping flags.
+type streamRec struct {
+	dyn emu.DynUop
+	// fetchedCritical: this position was fetched by the CDF critical
+	// frontend; the regular stream replays (discards) it at rename. Valid
+	// only when epoch matches the core's current CDF epoch.
+	fetchedCritical bool
+	critEntry       *entry
+	epoch           uint32
+	// markedCritical: the observe-only criticality mark (mask machinery),
+	// for Fig. 1 sampling in the baseline and for wrong-path rate tuning.
+	markedCritical bool
+}
+
+// stream is the correct-path oracle window: a ring buffer of upcoming
+// dynamic uops generated on demand from the functional emulator. Both fetch
+// engines index into it by dynamic sequence number; retired positions are
+// released once all pipeline references are gone.
+type stream struct {
+	em     *emu.Emulator
+	buf    []streamRec
+	base   uint64 // Seq of buf[0]
+	end    uint64 // Seq one past the last generated uop
+	halted bool
+}
+
+func newStream(em *emu.Emulator) *stream {
+	return &stream{em: em, buf: make([]streamRec, 0, 4096)}
+}
+
+// At returns the record for dynamic position seq, generating the stream up
+// to it as needed. It returns nil once the program has halted before seq.
+func (s *stream) At(seq uint64) *streamRec {
+	if seq < s.base {
+		panic("core: stream access below released base")
+	}
+	for seq >= s.end {
+		if s.halted {
+			return nil
+		}
+		var rec streamRec
+		if !s.em.Step(&rec.dyn) {
+			s.halted = true
+			return nil
+		}
+		s.buf = append(s.buf, rec)
+		s.end++
+		if rec.dyn.Last {
+			s.halted = true
+		}
+	}
+	return &s.buf[seq-s.base]
+}
+
+// Release drops records older than seq (everything < seq is retired and no
+// longer referenced).
+func (s *stream) Release(seq uint64) {
+	if seq <= s.base {
+		return
+	}
+	if seq > s.end {
+		seq = s.end
+	}
+	drop := int(seq - s.base)
+	// Compact occasionally rather than per-call.
+	if drop < cap(s.buf)/2 || drop < 1024 {
+		return
+	}
+	n := copy(s.buf, s.buf[drop:])
+	s.buf = s.buf[:n]
+	s.base = seq
+}
+
+// Halted reports whether the emulator has produced its final uop.
+func (s *stream) Halted() bool { return s.halted }
+
+// End returns one past the last generated position.
+func (s *stream) End() uint64 { return s.end }

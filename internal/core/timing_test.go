@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// These golden tests pin the timing model's first-order behaviour on tiny
+// programs where the expected cycle counts can be reasoned about by hand.
+// They use generous bands (the frontend pipeline depth and cache timing add
+// constants) but tight enough to catch an off-by-10x regression in any
+// stage.
+
+func runTiny(t *testing.T, build func(b *prog.Builder)) *Core {
+	t.Helper()
+	b := prog.NewBuilder("tiny")
+	build(b)
+	p := b.MustProgram()
+	cfg := Default()
+	c, err := New(cfg, p, emu.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !c.Finished() {
+		t.Fatal("program did not finish")
+	}
+	return c
+}
+
+func TestTimingSerialALUChain(t *testing.T) {
+	// 20 warm iterations of a 100-deep dependent add chain: ~100
+	// cycles/iteration once the code is cached (the first iteration pays
+	// cold I-cache misses).
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(9), 20)
+		b.MovI(r(1), 0)
+		loop := b.Label()
+		for i := 0; i < 100; i++ {
+			b.AddI(r(1), r(1), 1)
+		}
+		b.SubI(r(9), r(9), 1)
+		b.Bne(r(9), r(0), loop)
+		b.Halt()
+	})
+	cy := c.Cycles()
+	if cy < 20*100 {
+		t.Fatalf("%d cycles for 20x100 dependent adds: impossible", cy)
+	}
+	if cy > 20*100+1500 {
+		t.Fatalf("%d cycles for 20x100 dependent adds: too slow", cy)
+	}
+}
+
+func TestTimingIndependentALU(t *testing.T) {
+	// 20 warm iterations of 96 independent adds: with 4 ALU ports the loop
+	// body takes ~24-28 cycles/iteration.
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(9), 20)
+		loop := b.Label()
+		for i := 0; i < 96; i++ {
+			b.AddI(r(isa8(i)), r(isa8(i)), 1)
+		}
+		b.SubI(r(9), r(9), 1)
+		b.Bne(r(9), r(0), loop)
+		b.Halt()
+	})
+	cy := c.Cycles()
+	if cy > 20*40+1200 {
+		t.Fatalf("%d cycles for 20x96 independent adds: ports not exploited", cy)
+	}
+	if cy < 20*96/6 {
+		t.Fatalf("%d cycles beats the fetch width: impossible", cy)
+	}
+}
+
+func isa8(i int) int { return 2 + i%7 }
+
+func TestTimingDivLatency(t *testing.T) {
+	// 20 warm iterations of 20 dependent divides at 12 cycles each:
+	// ~240 cycles/iteration.
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(9), 20)
+		b.MovI(r(1), 1)
+		b.MovI(r(2), 1)
+		loop := b.Label()
+		for i := 0; i < 20; i++ {
+			b.Div(r(1), r(1), r(2))
+		}
+		b.SubI(r(9), r(9), 1)
+		b.Bne(r(9), r(0), loop)
+		b.Halt()
+	})
+	cy := c.Cycles()
+	if cy < 20*20*12 {
+		t.Fatalf("%d cycles for 400 dependent divs: div latency lost", cy)
+	}
+	if cy > 20*20*12+1500 {
+		t.Fatalf("%d cycles for 400 dependent divs: too slow", cy)
+	}
+}
+
+func TestTimingColdMissVsWarmHit(t *testing.T) {
+	// A dependent pointer-style chain of 20 cold loads pays ~DRAM latency
+	// each; re-running the same addresses warm pays ~L1 latency each.
+	build := func(b *prog.Builder) {
+		b.MovI(r(1), 0x40000000)
+		for i := 0; i < 20; i++ {
+			// Dependent: each load's address uses the previous value (zero)
+			// plus a distinct displacement, forced serial via r2.
+			b.Load(r(2), r(1), int64(i*4096))
+			b.Add(r(1), r(1), r(2)) // r2 is 0; keeps the chain serial
+		}
+		b.Halt()
+	}
+	cold := runTiny(t, build).Cycles()
+	if cold < 20*80 {
+		t.Fatalf("%d cycles for 20 serial cold misses: DRAM latency lost", cold)
+	}
+
+	// Same program with a warmup pass first: the second pass is all hits.
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(1), 0x40000000)
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 20; i++ {
+				b.Load(r(2), r(1), int64(i*4096))
+				b.Add(r(1), r(1), r(2))
+			}
+		}
+		b.Halt()
+	})
+	warmTotal := c.Cycles()
+	warmSecond := warmTotal - cold // approx: second pass cost
+	if warmSecond > cold/2 {
+		t.Fatalf("warm pass cost %d vs cold %d: caches not working", warmSecond, cold)
+	}
+}
+
+func TestTimingMispredictPenalty(t *testing.T) {
+	// Two variants of a 500-iteration loop: one with a perfectly
+	// predictable inner branch, one with a data-random branch. The random
+	// one must be slower by roughly (mispredicts x pipeline penalty).
+	predictable := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(1), 500)
+		loop := b.Label()
+		b.AndI(r(3), r(1), 0) // always 0
+		skip := b.ReserveLabel()
+		b.Bne(r(3), r(0), skip)
+		b.AddI(r(4), r(4), 1)
+		b.Place(skip)
+		b.SubI(r(1), r(1), 1)
+		b.Bne(r(1), r(0), loop)
+		b.Halt()
+	}).Cycles()
+
+	// Random direction from a hash of the counter (not learnable).
+	random := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(1), 500)
+		b.MovI(r(5), 0x9E3779B9)
+		loop := b.Label()
+		b.Mul(r(3), r(1), r(5))
+		b.ShrI(r(3), r(3), 17)
+		b.AndI(r(3), r(3), 1)
+		skip := b.ReserveLabel()
+		b.Bne(r(3), r(0), skip)
+		b.AddI(r(4), r(4), 1)
+		b.Place(skip)
+		b.SubI(r(1), r(1), 1)
+		b.Bne(r(1), r(0), loop)
+		b.Halt()
+	}).Cycles()
+
+	if random < predictable+500/4 {
+		t.Fatalf("random-branch loop (%d) barely slower than predictable (%d): mispredict penalty lost",
+			random, predictable)
+	}
+}
+
+func TestTimingMLPOverlap(t *testing.T) {
+	// 16 independent cold misses must overlap: total far less than 16
+	// serial DRAM latencies.
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(1), 0x50000000)
+		for i := 0; i < 16; i++ {
+			b.Load(r(2+i%8), r(1), int64(i*8192))
+		}
+		b.Halt()
+	})
+	cy := c.Cycles()
+	if cy > 16*80 {
+		t.Fatalf("%d cycles for 16 independent misses: no MLP", cy)
+	}
+	if c.Stats().MLP() < 4 {
+		t.Fatalf("MLP %.1f for 16 independent misses", c.Stats().MLP())
+	}
+}
+
+func TestTimingFetchBound(t *testing.T) {
+	// 30 warm iterations of 60 independent movs: bounded by the 6-wide
+	// frontend at ~10-11 cycles/iteration.
+	const n, iters = 60, 30
+	c := runTiny(t, func(b *prog.Builder) {
+		b.MovI(r(0), 0)
+		b.MovI(r(9), iters)
+		loop := b.Label()
+		for i := 0; i < n; i++ {
+			b.MovI(r(2+i%7), int64(i))
+		}
+		b.SubI(r(9), r(9), 1)
+		b.Bne(r(9), r(0), loop)
+		b.Halt()
+	})
+	cy := c.Cycles()
+	total := uint64(n * iters)
+	if cy < total/6 {
+		t.Fatalf("%d cycles for %d uops: beyond the fetch width", cy, total)
+	}
+	if cy > total/3+1000 {
+		t.Fatalf("%d cycles for %d independent movs: frontend too slow", cy, total)
+	}
+}

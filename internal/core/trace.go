@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives pipeline events as the simulation runs. Attach one with
+// SetTracer before calling Run/Cycle. The zero overhead path (no tracer) is
+// a nil check per event site.
+type Tracer interface {
+	// Event reports one pipeline event for the uop at (seq, sub).
+	// Stage is one of "fetch", "rename", "issue", "complete", "retire",
+	// "flush". desc carries stage-specific detail.
+	Event(cycle uint64, stage string, seq uint64, sub uint32, desc string)
+	// Mode reports machine-level transitions: CDF entry/exit, violations,
+	// runahead intervals.
+	Mode(cycle uint64, what string)
+}
+
+// SetTracer attaches (or detaches, with nil) a pipeline tracer.
+func (c *Core) SetTracer(tr Tracer) { c.tracer = tr }
+
+func (c *Core) traceEvent(stage string, e *entry, desc string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Event(c.now, stage, e.seq, e.sub, desc)
+}
+
+func (c *Core) traceMode(what string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Mode(c.now, what)
+}
+
+// TextTracer writes a human-readable pipeline trace, optionally bounded to
+// the first MaxEvents events (0 = unlimited).
+type TextTracer struct {
+	W         io.Writer
+	MaxEvents int
+
+	n int
+}
+
+// Event implements Tracer.
+func (t *TextTracer) Event(cycle uint64, stage string, seq uint64, sub uint32, desc string) {
+	if t.MaxEvents > 0 && t.n >= t.MaxEvents {
+		return
+	}
+	t.n++
+	id := fmt.Sprintf("%d", seq)
+	if sub != 0 {
+		id = fmt.Sprintf("%d.wp%d", seq, sub)
+	}
+	fmt.Fprintf(t.W, "%8d  %-8s %-12s %s\n", cycle, stage, id, desc)
+}
+
+// Mode implements Tracer.
+func (t *TextTracer) Mode(cycle uint64, what string) {
+	if t.MaxEvents > 0 && t.n >= t.MaxEvents {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%8d  ======== %s\n", cycle, what)
+}

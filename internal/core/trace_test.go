@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cdf/internal/workload"
+)
+
+// lifecycleTracer records each uop's stage timestamps.
+type lifecycleTracer struct {
+	t      *testing.T
+	stages map[uint64]map[string]uint64 // seq -> stage -> first cycle
+	modes  []string
+}
+
+func (lt *lifecycleTracer) Event(cycle uint64, stage string, seq uint64, sub uint32, desc string) {
+	if sub != 0 {
+		return // wrong-path slots have no full lifecycle
+	}
+	m, ok := lt.stages[seq]
+	if !ok {
+		m = make(map[string]uint64, 5)
+		lt.stages[seq] = m
+	}
+	if _, seen := m[stage]; !seen {
+		m[stage] = cycle
+	}
+}
+
+func (lt *lifecycleTracer) Mode(cycle uint64, what string) {
+	lt.modes = append(lt.modes, what)
+}
+
+// TestTracerLifecycleOrdering: every retired uop must have passed through
+// fetch -> rename -> issue -> complete -> retire in non-decreasing cycle
+// order, in both baseline and CDF modes.
+func TestTracerLifecycleOrdering(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeCDF} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			w, _ := workload.ByName("astar")
+			p, m := w.Build()
+			cfg := Default()
+			cfg.Mode = mode
+			cfg.MaxRetired = 20_000
+			cfg.MaxCycles = 4_000_000
+			c, err := New(cfg, p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lt := &lifecycleTracer{t: t, stages: make(map[uint64]map[string]uint64)}
+			c.SetTracer(lt)
+			c.Run()
+
+			order := []string{"fetch", "rename", "issue", "complete", "retire"}
+			retired, checked := 0, 0
+			for seq, st := range lt.stages {
+				if _, ok := st["retire"]; !ok {
+					continue // flushed or still in flight at the cutoff
+				}
+				retired++
+				last := uint64(0)
+				for _, stage := range order {
+					cyc, ok := st[stage]
+					if !ok {
+						t.Fatalf("seq %d retired without a %s event", seq, stage)
+					}
+					if cyc < last {
+						t.Fatalf("seq %d: %s at %d before previous stage at %d", seq, stage, cyc, last)
+					}
+					last = cyc
+				}
+				checked++
+			}
+			if retired < 15_000 {
+				t.Fatalf("only %d retired uops traced", retired)
+			}
+			if mode == ModeCDF {
+				found := false
+				for _, m := range lt.modes {
+					if strings.Contains(m, "enter CDF mode") {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatal("no CDF-entry mode event traced")
+				}
+			}
+		})
+	}
+}
+
+// TestTextTracerOutput checks the text renderer's format and cap.
+func TestTextTracerOutput(t *testing.T) {
+	var sb strings.Builder
+	tr := &TextTracer{W: &sb, MaxEvents: 3}
+	tr.Event(10, "fetch", 5, 0, "add")
+	tr.Event(11, "fetch", 6, 2, "wrong-path ld")
+	tr.Mode(12, "enter CDF mode at seq 6")
+	tr.Event(13, "retire", 5, 0, "add") // beyond the cap: dropped
+	out := sb.String()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("expected exactly 3 lines:\n%s", out)
+	}
+	for _, want := range []string{"fetch", "6.wp2", "========", "enter CDF mode"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "retire") {
+		t.Fatal("cap not enforced")
+	}
+}

@@ -1,0 +1,176 @@
+package emu
+
+import (
+	"fmt"
+
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+// DynUop is one dynamic (executed) uop on the correct path, with everything
+// the timing model needs resolved: the effective address for memory ops, the
+// branch outcome and successor, and the value loaded/stored (for debugging
+// and trace dumps; the timing model itself only uses addresses).
+type DynUop struct {
+	Seq     uint64 // dynamic sequence number, starting at 0
+	PC      uint64
+	BlockID int // static basic block
+	Index   int // index within the block
+	U       isa.Uop
+
+	Addr  uint64 // effective address (memory ops only)
+	Value int64  // value loaded or stored (memory ops only)
+
+	Taken     bool   // branch outcome (branches only)
+	NextPC    uint64 // PC of the next correct-path uop (0 if program halted)
+	NextBlock int    // block of the next correct-path uop (-1 if halted)
+	Last      bool   // true for the final uop (halt)
+}
+
+// IsBranch reports whether the dynamic uop is a branch.
+func (d *DynUop) IsBranch() bool { return d.U.Op.IsBranch() }
+
+// Emulator executes a program architecturally, one uop per Step.
+type Emulator struct {
+	Prog *prog.Program
+	Regs [isa.NumRegs]int64
+	Mem  *Memory
+
+	blockID  int
+	uopIdx   int
+	retStack []int
+	halted   bool
+	seq      uint64
+}
+
+// New returns an emulator positioned at p's entry block. mem may be nil, in
+// which case a fresh empty memory is used.
+func New(p *prog.Program, mem *Memory) *Emulator {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &Emulator{Prog: p, Mem: mem, blockID: p.Entry}
+}
+
+// Halted reports whether the program has executed its halt uop.
+func (e *Emulator) Halted() bool { return e.halted }
+
+// Executed returns the number of dynamic uops executed so far.
+func (e *Emulator) Executed() uint64 { return e.seq }
+
+// Step executes the next uop and fills *d with its dynamic record. It
+// returns false if the program has already halted.
+func (e *Emulator) Step(d *DynUop) bool {
+	if e.halted {
+		return false
+	}
+	blk := e.Prog.Blocks[e.blockID]
+	u := blk.Uops[e.uopIdx]
+
+	*d = DynUop{
+		Seq:     e.seq,
+		PC:      e.Prog.PC(e.blockID, e.uopIdx),
+		BlockID: e.blockID,
+		Index:   e.uopIdx,
+		U:       u,
+	}
+	e.seq++
+
+	src1, src2 := int64(0), int64(0)
+	if u.Src1.Valid() {
+		src1 = e.Regs[u.Src1]
+	}
+	if u.Src2.Valid() {
+		src2 = e.Regs[u.Src2]
+	}
+
+	// Default successor: next uop in this block, else fallthrough block.
+	nextBlock, nextIdx := e.blockID, e.uopIdx+1
+	advanceSequential := func() {
+		if nextIdx >= len(blk.Uops) {
+			nextBlock = blk.Fallthrough
+			nextIdx = 0
+		}
+	}
+
+	switch {
+	case u.Op == isa.OpHalt:
+		e.halted = true
+		d.Last = true
+		d.NextBlock = -1
+		return true
+
+	case u.Op == isa.OpLoad:
+		addr := uint64(src1 + u.Imm)
+		d.Addr = addr
+		d.Value = e.Mem.Read64(addr)
+		e.Regs[u.Dst] = d.Value
+		advanceSequential()
+
+	case u.Op == isa.OpStore:
+		addr := uint64(src1 + u.Imm)
+		d.Addr = addr
+		d.Value = src2
+		e.Mem.Write64(addr, src2)
+		advanceSequential()
+
+	case u.Op.IsCondBranch():
+		d.Taken = isa.BranchTaken(u.Op, src1, src2)
+		if d.Taken {
+			nextBlock, nextIdx = u.Target, 0
+		} else {
+			advanceSequential()
+		}
+
+	case u.Op == isa.OpJmp:
+		d.Taken = true
+		nextBlock, nextIdx = u.Target, 0
+
+	case u.Op == isa.OpCall:
+		d.Taken = true
+		e.retStack = append(e.retStack, blk.Fallthrough)
+		nextBlock, nextIdx = u.Target, 0
+
+	case u.Op == isa.OpRet:
+		d.Taken = true
+		if len(e.retStack) == 0 {
+			// Ret with an empty stack halts; kernels never do this, but
+			// keep the emulator total.
+			e.halted = true
+			d.Last = true
+			d.NextBlock = -1
+			return true
+		}
+		nextBlock = e.retStack[len(e.retStack)-1]
+		e.retStack = e.retStack[:len(e.retStack)-1]
+		nextIdx = 0
+
+	default:
+		// ALU class (OpNop has no destination).
+		if u.Dst.Valid() {
+			e.Regs[u.Dst] = isa.EvalALU(u.Op, src1, src2, u.Imm)
+		}
+		advanceSequential()
+	}
+
+	if nextBlock < 0 {
+		// Fell off the end of a block with no fallthrough: structurally
+		// impossible for validated programs.
+		panic(fmt.Sprintf("emu: fell off block B%d of %q", e.blockID, e.Prog.Name))
+	}
+	e.blockID, e.uopIdx = nextBlock, nextIdx
+	d.NextBlock = nextBlock
+	d.NextPC = e.Prog.PC(nextBlock, nextIdx)
+	return true
+}
+
+// Run executes up to max uops (all remaining if max <= 0) and returns the
+// number executed. It is used by tests and workload self-checks.
+func (e *Emulator) Run(max uint64) uint64 {
+	var d DynUop
+	n := uint64(0)
+	for (max <= 0 || n < max) && e.Step(&d) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,317 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+func r(i int) isa.Reg { return isa.Reg(i) }
+
+func TestMemoryOverlayAndRegions(t *testing.T) {
+	m := NewMemory()
+	if m.Read64(0x1000) != 0 {
+		t.Fatal("unwritten word should read 0")
+	}
+	m.Write64(0x1000, 42)
+	if m.Read64(0x1000) != 42 {
+		t.Fatal("write/read roundtrip failed")
+	}
+	// Procedural region.
+	m.AddRegion(0x2000, 0x3000, func(addr uint64) int64 { return int64(addr) * 2 })
+	if m.Read64(0x2008) != 0x2008*2 {
+		t.Fatal("region read failed")
+	}
+	if m.Read64(0x3000) != 0 {
+		t.Fatal("region must be half-open")
+	}
+	// Writes overlay regions.
+	m.Write64(0x2008, -1)
+	if m.Read64(0x2008) != -1 {
+		t.Fatal("overlay write not visible")
+	}
+	// Later regions win on overlap.
+	m.AddRegion(0x2000, 0x3000, func(addr uint64) int64 { return 7 })
+	if m.Read64(0x2010) != 7 {
+		t.Fatal("later region should win")
+	}
+	if m.Footprint() != 2 {
+		t.Fatalf("footprint = %d, want 2", m.Footprint())
+	}
+}
+
+func TestMemoryAlignment(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x1001, 9) // unaligned address aligns down
+	if m.Read64(0x1000) != 9 || m.Read64(0x1007) != 9 {
+		t.Fatal("addresses within a word must alias")
+	}
+}
+
+func TestQuickMemoryRoundtrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v int64) bool {
+		m.Write64(addr, v)
+		return m.Read64(addr) == v && m.Read64(addr&^7) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64(t *testing.T) {
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Fatal("distinct inputs should hash differently")
+	}
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Fatal("hash must be deterministic")
+	}
+	// Bits should look mixed: low bit balanced over a small sample.
+	ones := 0
+	for i := uint64(0); i < 1000; i++ {
+		ones += int(SplitMix64(i) & 1)
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("low-bit balance %d/1000 looks unmixed", ones)
+	}
+}
+
+// buildSum constructs: sum = 0; for i = n; i != 0; i-- { sum += i }.
+func buildSum(n int64) *prog.Program {
+	b := prog.NewBuilder("sum")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), n)
+	b.MovI(r(2), 0)
+	loop := b.Label()
+	b.Add(r(2), r(2), r(1))
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestEmulatorLoopSum(t *testing.T) {
+	e := New(buildSum(10), nil)
+	n := e.Run(0)
+	if !e.Halted() {
+		t.Fatal("program should halt")
+	}
+	if e.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", e.Regs[2])
+	}
+	// 3 init + 10 iterations x 3 + halt.
+	if n != 3+30+1 {
+		t.Fatalf("executed %d uops, want 34", n)
+	}
+}
+
+func TestEmulatorMemoryOps(t *testing.T) {
+	b := prog.NewBuilder("memops")
+	b.MovI(r(1), 0x1000)
+	b.MovI(r(2), 99)
+	b.Store(r(1), 8, r(2))
+	b.Load(r(3), r(1), 8)
+	b.Halt()
+	e := New(b.MustProgram(), nil)
+	e.Run(0)
+	if e.Regs[3] != 99 {
+		t.Fatalf("loaded %d, want 99", e.Regs[3])
+	}
+	if e.Mem.Read64(0x1008) != 99 {
+		t.Fatal("store not visible in memory")
+	}
+}
+
+func TestEmulatorCallRet(t *testing.T) {
+	b := prog.NewBuilder("callret")
+	fn := b.ReserveLabel()
+	b.MovI(r(1), 1)
+	b.Call(fn)
+	// Continuation.
+	b.AddI(r(1), r(1), 100)
+	b.Halt()
+	b.Place(fn)
+	b.AddI(r(1), r(1), 10)
+	b.Ret()
+	e := New(b.MustProgram(), nil)
+	e.Run(0)
+	if e.Regs[1] != 111 {
+		t.Fatalf("r1 = %d, want 111 (call, fn, return, continuation)", e.Regs[1])
+	}
+}
+
+func TestEmulatorTakenAndNotTakenPaths(t *testing.T) {
+	build := func(v int64) *prog.Program {
+		b := prog.NewBuilder("branchy")
+		b.MovI(r(0), 0)
+		b.MovI(r(1), v)
+		skip := b.ReserveLabel()
+		b.Beq(r(1), r(0), skip)
+		b.MovI(r(2), 1) // not-taken path
+		b.Place(skip)
+		b.Halt()
+		return b.MustProgram()
+	}
+	e := New(build(0), nil) // branch taken: skip the MovI
+	e.Run(0)
+	if e.Regs[2] != 0 {
+		t.Fatal("taken branch should skip r2 write")
+	}
+	e = New(build(5), nil) // not taken: execute it
+	e.Run(0)
+	if e.Regs[2] != 1 {
+		t.Fatal("not-taken branch should execute r2 write")
+	}
+}
+
+func TestDynUopRecords(t *testing.T) {
+	p := buildSum(2)
+	e := New(p, nil)
+	var d DynUop
+	var seqs []uint64
+	for e.Step(&d) {
+		seqs = append(seqs, d.Seq)
+		if d.U.Op.IsBranch() {
+			// Branch records must carry direction and successor.
+			if d.Taken && d.NextBlock < 0 && !d.Last {
+				t.Fatal("taken branch without successor")
+			}
+		}
+		if !d.Last && d.NextPC == 0 {
+			t.Fatal("missing NextPC")
+		}
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("seq %d at position %d", s, i)
+		}
+	}
+	if !seqs_sorted(seqs) {
+		t.Fatal("sequence numbers must increase")
+	}
+	if d.U.Op != isa.OpHalt || !d.Last {
+		t.Fatal("final uop should be halt with Last set")
+	}
+	if e.Step(&d) {
+		t.Fatal("Step after halt should return false")
+	}
+}
+
+func seqs_sorted(s []uint64) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmulatorRunBound(t *testing.T) {
+	e := New(buildSum(1000), nil)
+	if n := e.Run(10); n != 10 {
+		t.Fatalf("Run(10) executed %d", n)
+	}
+	if e.Halted() {
+		t.Fatal("should not have halted after 10 uops")
+	}
+}
+
+// Property: the chase region from the workload helper shape is a
+// permutation — following next pointers N times from any start stays inside
+// the region and doesn't revisit too early (full-period LCG).
+func TestChaseStylePermutation(t *testing.T) {
+	const n = 1 << 10
+	const a, c = 5, 12345
+	seen := make(map[uint64]bool, n)
+	x := uint64(0)
+	for i := 0; i < n; i++ {
+		if seen[x] {
+			t.Fatalf("cycle after %d steps, want %d", i, n)
+		}
+		seen[x] = true
+		x = (a*x + c) & (n - 1)
+	}
+	if x != 0 {
+		t.Fatal("LCG should return to start after full period")
+	}
+}
+
+// TestFullISASemantics executes one instance of every ALU opcode and checks
+// the architectural results end to end.
+func TestFullISASemantics(t *testing.T) {
+	b := prog.NewBuilder("fullisa")
+	b.MovI(r(1), 10)
+	b.MovI(r(2), 3)
+	b.Mov(r(3), r(1))
+	b.Add(r(4), r(1), r(2))
+	b.Sub(r(5), r(1), r(2))
+	b.And(r(6), r(1), r(2))
+	b.Or(r(7), r(1), r(2))
+	b.Xor(r(8), r(1), r(2))
+	b.Shl(r(9), r(1), r(2))
+	b.Shr(r(10), r(1), r(2))
+	b.Mul(r(11), r(1), r(2))
+	b.Div(r(12), r(1), r(2))
+	b.FAdd(r(13), r(1), r(2))
+	b.FMul(r(14), r(1), r(2))
+	b.FDiv(r(15), r(1), r(2))
+	b.AddI(r(16), r(1), 5)
+	b.SubI(r(17), r(1), 5)
+	b.AndI(r(18), r(1), 6)
+	b.OrI(r(19), r(1), 6)
+	b.XorI(r(20), r(1), 6)
+	b.ShlI(r(21), r(1), 2)
+	b.ShrI(r(22), r(1), 2)
+	b.Nop()
+	b.Halt()
+	e := New(b.MustProgram(), nil)
+	e.Run(0)
+	want := map[int]int64{
+		3: 10, 4: 13, 5: 7, 6: 2, 7: 11, 8: 9, 9: 80, 10: 1,
+		11: 30, 12: 3, 13: 13, 14: 30, 15: 3,
+		16: 15, 17: 5, 18: 2, 19: 14, 20: 12, 21: 40, 22: 2,
+	}
+	for reg, v := range want {
+		if got := e.Regs[reg]; got != v {
+			t.Errorf("R%d = %d, want %d", reg, got, v)
+		}
+	}
+}
+
+// TestBranchSemantics drives every conditional branch opcode both ways.
+func TestBranchSemantics(t *testing.T) {
+	// For each op and operand pair, count a marker on the not-taken path.
+	type c struct {
+		set  func(b *prog.Builder, t int)
+		a, b int64
+		skip bool // branch taken -> marker skipped
+	}
+	cases := []c{
+		{func(bb *prog.Builder, t int) { bb.Beq(r(1), r(2), t) }, 5, 5, true},
+		{func(bb *prog.Builder, t int) { bb.Beq(r(1), r(2), t) }, 5, 6, false},
+		{func(bb *prog.Builder, t int) { bb.Bne(r(1), r(2), t) }, 5, 6, true},
+		{func(bb *prog.Builder, t int) { bb.Bne(r(1), r(2), t) }, 5, 5, false},
+		{func(bb *prog.Builder, t int) { bb.Blt(r(1), r(2), t) }, -1, 0, true},
+		{func(bb *prog.Builder, t int) { bb.Blt(r(1), r(2), t) }, 1, 0, false},
+		{func(bb *prog.Builder, t int) { bb.Bge(r(1), r(2), t) }, 1, 0, true},
+		{func(bb *prog.Builder, t int) { bb.Bge(r(1), r(2), t) }, -1, 0, false},
+	}
+	for i, tc := range cases {
+		b := prog.NewBuilder("brsem")
+		b.MovI(r(1), tc.a)
+		b.MovI(r(2), tc.b)
+		lbl := b.ReserveLabel()
+		tc.set(b, lbl)
+		b.MovI(r(3), 1) // not-taken marker
+		b.Place(lbl)
+		b.Halt()
+		e := New(b.MustProgram(), nil)
+		e.Run(0)
+		gotSkipped := e.Regs[3] == 0
+		if gotSkipped != tc.skip {
+			t.Errorf("case %d: skipped=%v want %v", i, gotSkipped, tc.skip)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op          Op
+		hasDst      bool
+		srcs        int
+		load, store bool
+		branch      bool
+		cond        bool
+		uncond      bool
+	}{
+		{OpNop, false, 0, false, false, false, false, false},
+		{OpAdd, true, 2, false, false, false, false, false},
+		{OpAddI, true, 1, false, false, false, false, false},
+		{OpMovI, true, 0, false, false, false, false, false},
+		{OpMov, true, 1, false, false, false, false, false},
+		{OpMul, true, 2, false, false, false, false, false},
+		{OpFDiv, true, 2, false, false, false, false, false},
+		{OpLoad, true, 1, true, false, false, false, false},
+		{OpStore, false, 2, false, true, false, false, false},
+		{OpBeq, false, 2, false, false, true, true, false},
+		{OpBne, false, 2, false, false, true, true, false},
+		{OpBlt, false, 2, false, false, true, true, false},
+		{OpBge, false, 2, false, false, true, true, false},
+		{OpJmp, false, 0, false, false, true, false, true},
+		{OpCall, false, 0, false, false, true, false, true},
+		{OpRet, false, 0, false, false, true, false, true},
+		{OpHalt, false, 0, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.HasDst(); got != c.hasDst {
+			t.Errorf("%s.HasDst() = %v, want %v", c.op, got, c.hasDst)
+		}
+		if got := c.op.NumSrcs(); got != c.srcs {
+			t.Errorf("%s.NumSrcs() = %d, want %d", c.op, got, c.srcs)
+		}
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%s.IsLoad() = %v, want %v", c.op, got, c.load)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%s.IsStore() = %v, want %v", c.op, got, c.store)
+		}
+		if got := c.op.IsBranch(); got != c.branch {
+			t.Errorf("%s.IsBranch() = %v, want %v", c.op, got, c.branch)
+		}
+		if got := c.op.IsCondBranch(); got != c.cond {
+			t.Errorf("%s.IsCondBranch() = %v, want %v", c.op, got, c.cond)
+		}
+		if got := c.op.IsUncondBranch(); got != c.uncond {
+			t.Errorf("%s.IsUncondBranch() = %v, want %v", c.op, got, c.uncond)
+		}
+		if c.op.IsMem() != (c.load || c.store) {
+			t.Errorf("%s.IsMem() inconsistent", c.op)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%s.Latency() = %d, want > 0", op, op.Latency())
+		}
+	}
+}
+
+func TestLatencyClasses(t *testing.T) {
+	if !(OpMul.Latency() > OpAdd.Latency()) {
+		t.Error("mul should be slower than add")
+	}
+	if !(OpDiv.Latency() > OpMul.Latency()) {
+		t.Error("div should be slower than mul")
+	}
+	if !(OpFDiv.Latency() > OpFMul.Latency()) {
+		t.Error("fdiv should be slower than fmul")
+	}
+}
+
+func TestPortClasses(t *testing.T) {
+	if OpLoad.Port() != PortLoad || OpStore.Port() != PortStore {
+		t.Error("memory port classes wrong")
+	}
+	if OpMul.Port() != PortMul || OpDiv.Port() != PortMul {
+		t.Error("mul/div should use the mul port")
+	}
+	if OpFAdd.Port() != PortFP || OpFMul.Port() != PortFP || OpFDiv.Port() != PortFP {
+		t.Error("FP ops should use the FP port")
+	}
+	if OpAdd.Port() != PortALU || OpBeq.Port() != PortALU || OpJmp.Port() != PortALU {
+		t.Error("ALU/branch ops should use the ALU port")
+	}
+	for op := OpNop; op < numOps; op++ {
+		if op.Port() >= NumPortClasses {
+			t.Errorf("%s.Port() out of range", op)
+		}
+	}
+}
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, i int64
+		want    int64
+	}{
+		{OpAdd, 3, 4, 0, 7},
+		{OpSub, 3, 4, 0, -1},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpShl, 1, 4, 0, 16},
+		{OpShr, -8, 1, 0, int64(uint64(0xFFFFFFFFFFFFFFF8) >> 1)},
+		{OpAddI, 3, 0, 4, 7},
+		{OpSubI, 3, 0, 4, -1},
+		{OpAndI, 0b1100, 0, 0b1010, 0b1000},
+		{OpOrI, 0b1100, 0, 0b1010, 0b1110},
+		{OpXorI, 0b1100, 0, 0b1010, 0b0110},
+		{OpShlI, 1, 0, 4, 16},
+		{OpShrI, 16, 0, 4, 1},
+		{OpMovI, 99, 98, 42, 42},
+		{OpMov, 7, 0, 0, 7},
+		{OpMul, 6, 7, 0, 42},
+		{OpDiv, 42, 6, 0, 7},
+		{OpDiv, 42, 0, 0, 0}, // divide by zero defined as 0
+		{OpFAdd, 3, 4, 0, 7},
+		{OpFMul, 6, 7, 0, 42},
+		{OpFDiv, 42, 0, 0, 0},
+		{OpNop, 5, 6, 7, 0},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.i); got != c.want {
+			t.Errorf("EvalALU(%s, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.i, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	for _, op := range []Op{OpLoad, OpStore, OpBeq, OpJmp, OpHalt} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EvalALU(%s) should panic", op)
+				}
+			}()
+			EvalALU(op, 1, 2, 3)
+		}()
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpBeq, 5, 5, true}, {OpBeq, 5, 6, false},
+		{OpBne, 5, 5, false}, {OpBne, 5, 6, true},
+		{OpBlt, -1, 0, true}, {OpBlt, 0, 0, false}, {OpBlt, 1, 0, false},
+		{OpBge, 0, 0, true}, {OpBge, 1, 0, true}, {OpBge, -1, 0, false},
+		{OpJmp, 0, 0, true}, {OpCall, 0, 0, true}, {OpRet, 0, 0, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%s, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUopValidate(t *testing.T) {
+	valid := []Uop{
+		{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3, Target: NoTarget},
+		{Op: OpMovI, Dst: 0, Src1: NoReg, Src2: NoReg, Imm: 5, Target: NoTarget},
+		{Op: OpLoad, Dst: 4, Src1: 5, Src2: NoReg, Imm: 8, Target: NoTarget},
+		{Op: OpStore, Dst: NoReg, Src1: 5, Src2: 6, Imm: 8, Target: NoTarget},
+		{Op: OpBeq, Dst: NoReg, Src1: 1, Src2: 2, Target: 0},
+		{Op: OpJmp, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: 3},
+		{Op: OpRet, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: NoTarget},
+		{Op: OpHalt, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: NoTarget},
+	}
+	for _, u := range valid {
+		if err := u.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", u, err)
+		}
+	}
+	invalid := []Uop{
+		{Op: OpAdd, Dst: NoReg, Src1: 1, Src2: 2, Target: NoTarget},       // missing dst
+		{Op: OpAdd, Dst: 1, Src1: NoReg, Src2: 2, Target: NoTarget},       // missing src1
+		{Op: OpAdd, Dst: 1, Src1: 2, Src2: NoReg, Target: NoTarget},       // missing src2
+		{Op: OpStore, Dst: 3, Src1: 1, Src2: 2, Target: NoTarget},         // store with dst
+		{Op: OpBeq, Dst: NoReg, Src1: 1, Src2: 2, Target: NoTarget},       // branch without target
+		{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3, Target: 7},                  // non-branch with target
+		{Op: OpMovI, Dst: 77, Src1: NoReg, Src2: NoReg, Target: NoTarget}, // dst out of range
+		{Op: Op(250), Dst: 1, Src1: 2, Src2: 3, Target: NoTarget},         // bad opcode
+	}
+	for _, u := range invalid {
+		if err := u.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", u)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(5).String() != "R5" {
+		t.Errorf("Reg(5) = %q", Reg(5).String())
+	}
+	if NoReg.String() != "-" {
+		t.Errorf("NoReg = %q", NoReg.String())
+	}
+	if Reg(5).Valid() == false || NoReg.Valid() == true || Reg(NumRegs).Valid() == true {
+		t.Error("Reg.Valid wrong")
+	}
+}
+
+func TestUopString(t *testing.T) {
+	cases := []struct {
+		u    Uop
+		want string
+	}{
+		{Uop{Op: OpMovI, Dst: 1, Src1: NoReg, Src2: NoReg, Imm: 7, Target: NoTarget}, "movi R1, #7"},
+		{Uop{Op: OpLoad, Dst: 2, Src1: 3, Src2: NoReg, Imm: 8, Target: NoTarget}, "ld R2, [R3+8]"},
+		{Uop{Op: OpStore, Dst: NoReg, Src1: 3, Src2: 4, Imm: 8, Target: NoTarget}, "st [R3+8], R4"},
+		{Uop{Op: OpBeq, Dst: NoReg, Src1: 1, Src2: 2, Target: 5}, "beq R1, R2, B5"},
+		{Uop{Op: OpJmp, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: 2}, "jmp B2"},
+		{Uop{Op: OpHalt, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: NoTarget}, "halt"},
+		{Uop{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3, Target: NoTarget}, "add R1, R2, R3"},
+		{Uop{Op: OpAddI, Dst: 1, Src1: 2, Src2: NoReg, Imm: 3, Target: NoTarget}, "addi R1, R2, #3"},
+		{Uop{Op: OpMov, Dst: 1, Src1: 2, Src2: NoReg, Target: NoTarget}, "mov R1, R2"},
+	}
+	for _, c := range cases {
+		if got := c.u.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: register-immediate forms agree with register-register forms.
+func TestQuickImmediateFormsAgree(t *testing.T) {
+	pairs := []struct{ rr, ri Op }{
+		{OpAdd, OpAddI}, {OpSub, OpSubI}, {OpAnd, OpAndI},
+		{OpOr, OpOrI}, {OpXor, OpXorI},
+	}
+	for _, p := range pairs {
+		p := p
+		f := func(a, b int64) bool {
+			return EvalALU(p.rr, a, b, 0) == EvalALU(p.ri, a, 0, b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s vs %s: %v", p.rr, p.ri, err)
+		}
+	}
+}
+
+// Property: xor is an involution, and/or are idempotent, shifts mask their
+// counts.
+func TestQuickALUAlgebra(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return EvalALU(OpXor, EvalALU(OpXor, a, b, 0), b, 0) == a
+	}, nil); err != nil {
+		t.Error("xor involution:", err)
+	}
+	if err := quick.Check(func(a int64) bool {
+		return EvalALU(OpAnd, a, a, 0) == a && EvalALU(OpOr, a, a, 0) == a
+	}, nil); err != nil {
+		t.Error("and/or idempotence:", err)
+	}
+	if err := quick.Check(func(a int64, s uint8) bool {
+		sh := int64(s)
+		return EvalALU(OpShl, a, sh, 0) == EvalALU(OpShl, a, sh&63, 0)
+	}, nil); err != nil {
+		t.Error("shift masking:", err)
+	}
+}
+
+// Property: BranchTaken(Beq) == !BranchTaken(Bne), Blt == !Bge.
+func TestQuickBranchComplement(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return BranchTaken(OpBeq, a, b) != BranchTaken(OpBne, a, b) &&
+			BranchTaken(OpBlt, a, b) != BranchTaken(OpBge, a, b)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package mem implements the cache hierarchy: set-associative write-back
+// caches with LRU replacement and MSHR-style pending-fill merging, arranged
+// as split L1I/L1D over a shared LLC over DRAM, with a stream prefetcher
+// trained on L1D demand misses.
+package mem
+
+import "fmt"
+
+type cacheLine struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demanded
+	lru        uint64
+}
+
+// Cache is one set-associative cache level. Timing is handled by the
+// Hierarchy; Cache only tracks contents, replacement, and pending fills.
+type Cache struct {
+	Name      string
+	sets      int
+	ways      int
+	lineBytes uint64
+	hitLat    int
+
+	lines    []cacheLine // sets*ways, row-major by set
+	lruClock uint64
+
+	// pending maps a line address to the cycle its in-flight fill completes
+	// (MSHR behaviour: later requests to the same line merge onto it).
+	pending map[uint64]uint64
+	maxMSHR int
+}
+
+// NewCache builds a cache of the given total size. sizeBytes must be
+// divisible by ways*lineBytes.
+func NewCache(name string, sizeBytes, ways int, lineBytes uint64, hitLat, mshrs int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes == 0 {
+		panic(fmt.Sprintf("mem: invalid cache geometry %s size=%d ways=%d line=%d", name, sizeBytes, ways, lineBytes))
+	}
+	sets := sizeBytes / (ways * int(lineBytes))
+	if sets == 0 || sizeBytes%(ways*int(lineBytes)) != 0 {
+		panic(fmt.Sprintf("mem: cache %s size %dB not divisible into %d-way sets of %dB lines", name, sizeBytes, ways, lineBytes))
+	}
+	return &Cache{
+		Name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		hitLat:    hitLat,
+		lines:     make([]cacheLine, sets*ways),
+		pending:   make(map[uint64]uint64),
+		maxMSHR:   mshrs,
+	}
+}
+
+// HitLatency returns the access latency on a hit.
+func (c *Cache) HitLatency() int { return c.hitLat }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr / c.lineBytes }
+
+func (c *Cache) set(lineAddr uint64) []cacheLine {
+	s := int(lineAddr % uint64(c.sets))
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes for lineAddr; on a hit it refreshes LRU state and clears the
+// prefetched bit (returning whether it was set, for prefetch-useful
+// accounting).
+func (c *Cache) Lookup(lineAddr uint64) (hit, wasPrefetched bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr {
+			c.lruClock++
+			l.lru = c.lruClock
+			wasPrefetched = l.prefetched
+			l.prefetched = false
+			return true, wasPrefetched
+		}
+	}
+	return false, false
+}
+
+// Contains probes without touching replacement or prefetch state.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills lineAddr, evicting the LRU victim. It returns the victim's
+// line address and whether it was dirty (needs writeback). evicted is false
+// when an invalid way was available or the line was already present.
+func (c *Cache) Insert(lineAddr uint64, dirty, prefetched bool) (victim uint64, evicted, victimDirty bool) {
+	set := c.set(lineAddr)
+	c.lruClock++
+	// Already present (e.g. refill racing a demand fill): update flags.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr {
+			l.dirty = l.dirty || dirty
+			l.lru = c.lruClock
+			return 0, false, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	v := &set[vi]
+	victim, evicted, victimDirty = v.tag, v.valid, v.valid && v.dirty
+	*v = cacheLine{tag: lineAddr, valid: true, dirty: dirty, prefetched: prefetched, lru: c.lruClock}
+	return victim, evicted, victimDirty
+}
+
+// MarkDirty sets the dirty bit if the line is present.
+func (c *Cache) MarkDirty(lineAddr uint64) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Pending returns the completion cycle of an in-flight fill for lineAddr.
+// Entries whose fill completed before now are pruned lazily.
+func (c *Cache) Pending(lineAddr, now uint64) (ready uint64, ok bool) {
+	ready, ok = c.pending[lineAddr]
+	if ok && ready <= now {
+		delete(c.pending, lineAddr)
+		return 0, false
+	}
+	return ready, ok
+}
+
+// AddPending records an in-flight fill. It reports false if all MSHRs are
+// busy (the request must retry).
+func (c *Cache) AddPending(lineAddr, ready, now uint64) bool {
+	if len(c.pending) >= c.maxMSHR {
+		c.prunePending(now)
+		if len(c.pending) >= c.maxMSHR {
+			return false
+		}
+	}
+	c.pending[lineAddr] = ready
+	return true
+}
+
+func (c *Cache) prunePending(now uint64) {
+	for a, r := range c.pending {
+		if r <= now {
+			delete(c.pending, a)
+		}
+	}
+}
+
+// PendingCount returns the number of in-flight fills (post-prune).
+func (c *Cache) PendingCount(now uint64) int {
+	c.prunePending(now)
+	return len(c.pending)
+}
+
+// Flush invalidates the entire cache (used between simulation phases in
+// tests; the evaluation never flushes mid-run).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.pending = make(map[uint64]uint64)
+}

@@ -1,0 +1,144 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero channels should fail")
+	}
+	bad = Default()
+	bad.RowBytes = 100 // not a multiple of line size
+	if bad.Validate() == nil {
+		t.Fatal("unaligned row size should fail")
+	}
+	bad = Default()
+	bad.TCL = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero timing should fail")
+	}
+}
+
+func TestRowBufferHitIsFaster(t *testing.T) {
+	d := New(Default())
+	first := d.Access(0x10000, 0, false)
+	// Same row, later: row-buffer hit.
+	second := d.Access(0x10000, first+100, false) - (first + 100)
+	firstLat := first
+	if second >= firstLat {
+		t.Fatalf("row hit (%d) should beat row open (%d)", second, firstLat)
+	}
+	if d.RowHits != 1 {
+		t.Fatalf("row hits = %d", d.RowHits)
+	}
+}
+
+func TestRowConflictIsSlowest(t *testing.T) {
+	cfg := Default()
+	d := New(cfg)
+	// Two different rows of the same bank: find a second address mapping to
+	// the same (channel, bank) by scanning.
+	ch0, bk0, row0 := d.mapAddr(0)
+	var conflict uint64
+	for a := uint64(cfg.LineBytes); ; a += cfg.LineBytes {
+		ch, bk, row := d.mapAddr(a)
+		if ch == ch0 && bk == bk0 && row != row0 {
+			conflict = a
+			break
+		}
+	}
+	open := d.Access(0, 0, false)
+	t0 := open + 1000
+	lat := d.Access(conflict, t0, false) - t0
+	// Row conflict pays tRP + tRCD + tCL (+burst) — strictly worse than a
+	// row hit would be.
+	minConflict := uint64(cfg.TRP + cfg.TRCD + cfg.TCL)
+	if lat < minConflict {
+		t.Fatalf("conflict latency %d < tRP+tRCD+tCL %d", lat, minConflict)
+	}
+	if d.RowMisses != 1 {
+		t.Fatalf("row misses = %d", d.RowMisses)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := Default()
+	d := New(cfg)
+	// Issue many simultaneous accesses to distinct lines: completion of the
+	// batch should be far less than sequential sum (banks overlap).
+	const n = 16
+	var last uint64
+	for i := 0; i < n; i++ {
+		done := d.Access(uint64(i)*4096, 0, false)
+		if done > last {
+			last = done
+		}
+	}
+	serial := New(cfg)
+	var serialEnd uint64
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		now = serial.Access(uint64(i)*4096, now, false)
+		serialEnd = now
+	}
+	if last*2 >= serialEnd {
+		t.Fatalf("parallel batch (%d) not much faster than serial (%d)", last, serialEnd)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	d := New(Default())
+	// Two back-to-back accesses to the same line contend on the same bank
+	// and bus: the second completes strictly later.
+	a := d.Access(0x5000, 0, false)
+	b := d.Access(0x5000, 0, false)
+	if b <= a {
+		t.Fatalf("same-bank accesses must serialize: %d then %d", a, b)
+	}
+}
+
+func TestPowerOfTwoStridesSpreadBanks(t *testing.T) {
+	// The XOR-fold mapping must spread a 2KB stride (the dense kernels')
+	// across channels and banks instead of pinning one bank.
+	d := New(Default())
+	seen := map[[2]int]bool{}
+	for i := 0; i < 64; i++ {
+		ch, bk, _ := d.mapAddr(uint64(i) * 2048)
+		seen[[2]int{ch, bk}] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("2KB stride touches only %d (channel,bank) pairs", len(seen))
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := New(Default())
+	d.Access(0, 0, false)
+	d.Access(64, 0, true)
+	if d.Reads != 1 || d.Writes != 1 || d.Traffic() != 2 {
+		t.Fatalf("reads=%d writes=%d", d.Reads, d.Writes)
+	}
+	if d.AvgReadLatency() <= 0 {
+		t.Fatal("average read latency should be positive")
+	}
+}
+
+// Property: completion time is always strictly after issue time, and
+// monotone under the same bank's queue.
+func TestQuickCompletionAfterIssue(t *testing.T) {
+	d := New(Default())
+	f := func(addr uint64, at uint32) bool {
+		now := uint64(at)
+		return d.Access(addr, now, false) > now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package prog
+
+import (
+	"fmt"
+
+	"cdf/internal/isa"
+)
+
+// Builder constructs programs block by block. Instructions are appended to
+// the current block; a branch, jump, return, or halt terminates the block,
+// and the next appended instruction opens a new block that the previous one
+// falls through to (for conditional branches) or that is only reachable via
+// an explicit label (after unconditional transfers).
+//
+// Forward control flow uses reserved labels:
+//
+//	b := prog.NewBuilder("loop")
+//	exit := b.ReserveLabel()
+//	top := b.Label()
+//	b.Load(R1, R2, 0)
+//	b.Beq(R1, R0, exit)
+//	b.Jmp(top)
+//	b.Place(exit)
+//	b.Halt()
+//	p, err := b.Program()
+type Builder struct {
+	name   string
+	blocks []*Block
+	cur    *Block
+	// pending holds blocks that ended in a conditional branch (or call) and
+	// fall through to whichever block is opened next.
+	pending []*Block
+	// reserved is the set of label IDs handed out by ReserveLabel that have
+	// not yet been placed.
+	reserved map[int]bool
+	// entry is the block holding the first emitted instruction (-1 until
+	// then); ReserveLabel may allocate blocks before it.
+	entry int
+	err   error
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, reserved: make(map[int]bool), entry: -1}
+}
+
+// failf records the first construction error; later calls are no-ops.
+func (b *Builder) failf(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("prog builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// open makes blk the current block and resolves pending fallthroughs to it.
+func (b *Builder) open(blk *Block) {
+	for _, p := range b.pending {
+		p.Fallthrough = blk.ID
+	}
+	b.pending = b.pending[:0]
+	b.cur = blk
+}
+
+// ensureBlock opens a fresh current block if none is open.
+func (b *Builder) ensureBlock() *Block {
+	if b.cur == nil {
+		blk := &Block{ID: len(b.blocks), Fallthrough: isa.NoTarget}
+		b.blocks = append(b.blocks, blk)
+		b.open(blk)
+	}
+	return b.cur
+}
+
+// sealFallthrough terminates the current block so the next instruction
+// starts a new one; if fallthru is true the closed block falls through to
+// the next block opened.
+func (b *Builder) sealFallthrough(fallthru bool) {
+	if b.cur == nil {
+		return
+	}
+	if fallthru {
+		b.pending = append(b.pending, b.cur)
+	}
+	b.cur = nil
+}
+
+// emit appends u to the current block.
+func (b *Builder) emit(u isa.Uop) {
+	if b.err != nil {
+		return
+	}
+	if err := u.Validate(); err != nil {
+		b.failf("emit %s: %v", u, err)
+		return
+	}
+	blk := b.ensureBlock()
+	if b.entry < 0 {
+		b.entry = blk.ID
+	}
+	blk.Uops = append(blk.Uops, u)
+	switch {
+	case u.Op.IsCondBranch():
+		b.sealFallthrough(true)
+	case u.Op.IsUncondBranch() || u.Op == isa.OpHalt:
+		b.sealFallthrough(false)
+	}
+}
+
+// Label seals the current block (falling through) and returns the ID of the
+// block the next instruction will start. Use it for backward branch targets.
+func (b *Builder) Label() int {
+	b.sealFallthrough(true)
+	return b.ensureBlock().ID
+}
+
+// ReserveLabel allocates a block ID for a forward branch target; it must
+// later be bound with Place. Reserving does not disturb the current block.
+func (b *Builder) ReserveLabel() int {
+	blk := &Block{ID: len(b.blocks), Fallthrough: isa.NoTarget}
+	b.blocks = append(b.blocks, blk)
+	b.reserved[blk.ID] = true
+	return blk.ID
+}
+
+// Place binds a reserved label: the next instruction appended goes into that
+// block. The current block, if open, falls through to it.
+func (b *Builder) Place(label int) {
+	if b.err != nil {
+		return
+	}
+	if !b.reserved[label] {
+		b.failf("Place(%d): label not reserved or already placed", label)
+		return
+	}
+	b.sealFallthrough(true)
+	delete(b.reserved, label)
+	b.open(b.blocks[label])
+}
+
+// Program seals the builder and returns the validated program.
+func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.reserved) != 0 {
+		return nil, fmt.Errorf("prog builder %q: %d reserved label(s) never placed", b.name, len(b.reserved))
+	}
+	if b.entry < 0 {
+		return nil, fmt.Errorf("prog builder %q: no instructions emitted", b.name)
+	}
+	p := &Program{Name: b.name, Blocks: b.blocks, Entry: b.entry}
+	p.AssignPCs()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program but panics on error; for tests and fixed kernels.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- instruction emitters ---
+
+func alu3(op isa.Op, d, s1, s2 isa.Reg) isa.Uop {
+	return isa.Uop{Op: op, Dst: d, Src1: s1, Src2: s2, Target: isa.NoTarget}
+}
+
+func aluImm(op isa.Op, d, s1 isa.Reg, imm int64) isa.Uop {
+	return isa.Uop{Op: op, Dst: d, Src1: s1, Src2: isa.NoReg, Imm: imm, Target: isa.NoTarget}
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() {
+	b.emit(isa.Uop{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: isa.NoTarget})
+}
+
+// MovI sets d to the immediate imm.
+func (b *Builder) MovI(d isa.Reg, imm int64) {
+	b.emit(isa.Uop{Op: isa.OpMovI, Dst: d, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm, Target: isa.NoTarget})
+}
+
+// Mov copies s into d.
+func (b *Builder) Mov(d, s isa.Reg) {
+	b.emit(isa.Uop{Op: isa.OpMov, Dst: d, Src1: s, Src2: isa.NoReg, Target: isa.NoTarget})
+}
+
+// Add emits d = s1 + s2.
+func (b *Builder) Add(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpAdd, d, s1, s2)) }
+
+// Sub emits d = s1 - s2.
+func (b *Builder) Sub(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpSub, d, s1, s2)) }
+
+// And emits d = s1 & s2.
+func (b *Builder) And(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpAnd, d, s1, s2)) }
+
+// Or emits d = s1 | s2.
+func (b *Builder) Or(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpOr, d, s1, s2)) }
+
+// Xor emits d = s1 ^ s2.
+func (b *Builder) Xor(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpXor, d, s1, s2)) }
+
+// Shl emits d = s1 << s2.
+func (b *Builder) Shl(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpShl, d, s1, s2)) }
+
+// Shr emits d = s1 >> s2 (logical).
+func (b *Builder) Shr(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpShr, d, s1, s2)) }
+
+// Mul emits d = s1 * s2.
+func (b *Builder) Mul(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpMul, d, s1, s2)) }
+
+// Div emits d = s1 / s2.
+func (b *Builder) Div(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpDiv, d, s1, s2)) }
+
+// FAdd emits d = s1 + s2 with FP-add latency.
+func (b *Builder) FAdd(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpFAdd, d, s1, s2)) }
+
+// FMul emits d = s1 * s2 with FP-mul latency.
+func (b *Builder) FMul(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpFMul, d, s1, s2)) }
+
+// FDiv emits d = s1 / s2 with FP-div latency.
+func (b *Builder) FDiv(d, s1, s2 isa.Reg) { b.emit(alu3(isa.OpFDiv, d, s1, s2)) }
+
+// AddI emits d = s1 + imm.
+func (b *Builder) AddI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpAddI, d, s1, imm)) }
+
+// SubI emits d = s1 - imm.
+func (b *Builder) SubI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpSubI, d, s1, imm)) }
+
+// AndI emits d = s1 & imm.
+func (b *Builder) AndI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpAndI, d, s1, imm)) }
+
+// OrI emits d = s1 | imm.
+func (b *Builder) OrI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpOrI, d, s1, imm)) }
+
+// XorI emits d = s1 ^ imm.
+func (b *Builder) XorI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpXorI, d, s1, imm)) }
+
+// ShlI emits d = s1 << imm.
+func (b *Builder) ShlI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpShlI, d, s1, imm)) }
+
+// ShrI emits d = s1 >> imm (logical).
+func (b *Builder) ShrI(d, s1 isa.Reg, imm int64) { b.emit(aluImm(isa.OpShrI, d, s1, imm)) }
+
+// Load emits d = mem[base+disp].
+func (b *Builder) Load(d, base isa.Reg, disp int64) {
+	b.emit(isa.Uop{Op: isa.OpLoad, Dst: d, Src1: base, Src2: isa.NoReg, Imm: disp, Target: isa.NoTarget})
+}
+
+// Store emits mem[base+disp] = val.
+func (b *Builder) Store(base isa.Reg, disp int64, val isa.Reg) {
+	b.emit(isa.Uop{Op: isa.OpStore, Dst: isa.NoReg, Src1: base, Src2: val, Imm: disp, Target: isa.NoTarget})
+}
+
+func (b *Builder) branch(op isa.Op, s1, s2 isa.Reg, target int) {
+	b.emit(isa.Uop{Op: op, Dst: isa.NoReg, Src1: s1, Src2: s2, Target: target})
+}
+
+// Beq branches to target when s1 == s2.
+func (b *Builder) Beq(s1, s2 isa.Reg, target int) { b.branch(isa.OpBeq, s1, s2, target) }
+
+// Bne branches to target when s1 != s2.
+func (b *Builder) Bne(s1, s2 isa.Reg, target int) { b.branch(isa.OpBne, s1, s2, target) }
+
+// Blt branches to target when s1 < s2.
+func (b *Builder) Blt(s1, s2 isa.Reg, target int) { b.branch(isa.OpBlt, s1, s2, target) }
+
+// Bge branches to target when s1 >= s2.
+func (b *Builder) Bge(s1, s2 isa.Reg, target int) { b.branch(isa.OpBge, s1, s2, target) }
+
+// Jmp transfers control unconditionally to target.
+func (b *Builder) Jmp(target int) {
+	b.emit(isa.Uop{Op: isa.OpJmp, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: target})
+}
+
+// Call jumps to target and pushes the fall-through block (the return
+// continuation, which is the next block opened) on the return stack.
+func (b *Builder) Call(target int) {
+	if b.err != nil {
+		return
+	}
+	blk := b.ensureBlock()
+	if b.entry < 0 {
+		b.entry = blk.ID
+	}
+	blk.Uops = append(blk.Uops, isa.Uop{Op: isa.OpCall, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: target})
+	b.sealFallthrough(true) // Fallthrough records the return continuation
+}
+
+// Ret pops the return stack and resumes at the saved continuation block.
+func (b *Builder) Ret() {
+	b.emit(isa.Uop{Op: isa.OpRet, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: isa.NoTarget})
+}
+
+// Halt ends the program.
+func (b *Builder) Halt() {
+	b.emit(isa.Uop{Op: isa.OpHalt, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: isa.NoTarget})
+}

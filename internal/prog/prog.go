@@ -1,0 +1,128 @@
+// Package prog represents static programs as control-flow graphs of basic
+// blocks of uops, and provides a builder DSL that the workload kernels use
+// to construct them. Programs are position-assigned: every uop gets a code
+// address so the I-cache, branch predictor, and CDF structures (which tag
+// entries by instruction address) operate on realistic PCs.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"cdf/internal/isa"
+)
+
+// CodeBase is the virtual address where program code is laid out.
+const CodeBase uint64 = 0x0040_0000
+
+// UopBytes is the encoded size of one uop; PCs advance by this amount.
+const UopBytes = 8
+
+// Block is a basic block: straight-line uops ending (optionally) in a
+// branch. If the block does not end in an unconditional transfer, control
+// falls through to Fallthrough.
+type Block struct {
+	ID          int
+	Uops        []isa.Uop
+	Fallthrough int // next block on the not-taken path; isa.NoTarget if none
+}
+
+// EndsInBranch reports whether the block's last uop is a branch.
+func (b *Block) EndsInBranch() bool {
+	if len(b.Uops) == 0 {
+		return false
+	}
+	return b.Uops[len(b.Uops)-1].Op.IsBranch()
+}
+
+// Program is a complete static program.
+type Program struct {
+	Name   string
+	Blocks []*Block
+	Entry  int // entry block ID
+
+	blockPC []uint64 // base code address of each block
+}
+
+// AssignPCs lays blocks out contiguously from CodeBase in ID order.
+// It must be called (and is called by Builder.Program) before PC or BlockAt.
+func (p *Program) AssignPCs() {
+	p.blockPC = make([]uint64, len(p.Blocks))
+	pc := CodeBase
+	for i, b := range p.Blocks {
+		p.blockPC[i] = pc
+		pc += uint64(len(b.Uops)) * UopBytes
+	}
+}
+
+// PC returns the code address of uop index idx within block id.
+func (p *Program) PC(id, idx int) uint64 {
+	return p.blockPC[id] + uint64(idx)*UopBytes
+}
+
+// BlockPC returns the code address of the first uop of block id.
+func (p *Program) BlockPC(id int) uint64 { return p.blockPC[id] }
+
+// NumUops returns the total number of static uops in the program.
+func (p *Program) NumUops() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Uops)
+	}
+	return n
+}
+
+// Validate checks structural consistency: every uop validates, every branch
+// target and fallthrough names an existing block, and only terminal uops
+// transfer control.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("prog %q: no blocks", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Blocks) {
+		return fmt.Errorf("prog %q: entry block %d out of range", p.Name, p.Entry)
+	}
+	for _, b := range p.Blocks {
+		if len(b.Uops) == 0 {
+			return fmt.Errorf("prog %q: block B%d is empty", p.Name, b.ID)
+		}
+		for i, u := range b.Uops {
+			if err := u.Validate(); err != nil {
+				return fmt.Errorf("prog %q: B%d[%d] %s: %w", p.Name, b.ID, i, u, err)
+			}
+			if u.Op.IsBranch() && i != len(b.Uops)-1 {
+				return fmt.Errorf("prog %q: B%d[%d]: branch %s not at block end", p.Name, b.ID, i, u)
+			}
+			if u.Op == isa.OpHalt && i != len(b.Uops)-1 {
+				return fmt.Errorf("prog %q: B%d[%d]: halt not at block end", p.Name, b.ID, i)
+			}
+			if u.Target != isa.NoTarget && (u.Target < 0 || u.Target >= len(p.Blocks)) {
+				return fmt.Errorf("prog %q: B%d[%d]: target B%d out of range", p.Name, b.ID, i, u.Target)
+			}
+		}
+		last := b.Uops[len(b.Uops)-1]
+		terminal := last.Op == isa.OpJmp || last.Op == isa.OpHalt || last.Op == isa.OpRet
+		if !terminal {
+			if b.Fallthrough < 0 || b.Fallthrough >= len(p.Blocks) {
+				return fmt.Errorf("prog %q: B%d: fallthrough B%d out of range", p.Name, b.ID, b.Fallthrough)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the program as assembly-like text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %q, entry B%d\n", p.Name, p.Entry)
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "B%d:\n", b.ID)
+		for i, u := range b.Uops {
+			fmt.Fprintf(&sb, "  %04x  %s\n", p.PC(b.ID, i), u)
+		}
+		if !b.EndsInBranch() && b.Fallthrough != isa.NoTarget {
+			fmt.Fprintf(&sb, "  ; falls through to B%d\n", b.Fallthrough)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned text, Markdown, or
+// CSV. The cdfexperiments command builds every figure as a Table and picks
+// the renderer from its -format flag; EXPERIMENTS.md's tables come from the
+// Markdown renderer.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	Title   string
+	Note    string // one-line annotation (e.g. the paper's number)
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Pct formats a speedup ratio as a signed percentage ("+6.1%").
+func Pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
+
+// Rel formats a relative value ("0.97x").
+func Rel(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Frac formats a fraction as a percentage ("31.8%").
+func Frac(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&sb, "  %*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "(%s)\n", t.Note)
+	}
+	return sb.String()
+}
+
+// Markdown renders a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s\n\n", t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		if i == 0 {
+			seps[i] = "---"
+		} else {
+			seps[i] = "---:"
+		}
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "\n*%s*\n", t.Note)
+	}
+	return sb.String()
+}
+
+// CSV renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	sb.WriteString(strings.Join(cells, ",") + "\n")
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// Render picks a format by name: "text", "markdown", or "csv".
+func (t *Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Text(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	case "csv":
+		return t.CSV(), nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (want text|markdown|csv)", format)
+}

@@ -1,0 +1,195 @@
+// Package stats collects simulation counters: pipeline activity, memory
+// hierarchy traffic, branch behaviour, MLP, ROB-occupancy samples (Fig. 1),
+// and CDF/PRE mechanism activity. Every figure in the evaluation is computed
+// from these counters.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats holds all counters for one simulation run.
+type Stats struct {
+	// Pipeline.
+	Cycles          uint64
+	RetiredUops     uint64
+	RetiredLoads    uint64
+	RetiredStores   uint64
+	RetiredBranches uint64
+	FetchedUops     uint64
+	FlushedUops     uint64
+
+	// Branches.
+	CondBranches      uint64
+	BranchMispredicts uint64
+	BTBMisses         uint64
+
+	FetchStallCycles uint64
+
+	// Stalls (cycles during which rename could not allocate).
+	ROBFullCycles uint64
+	RSFullCycles  uint64
+	LQFullCycles  uint64
+	SQFullCycles  uint64
+	// FullWindowStallCycles counts cycles with the ROB full and the head
+	// uop waiting on memory — the paper's "full window stall".
+	FullWindowStallCycles uint64
+
+	// Memory hierarchy.
+	L1IHits, L1IMisses          uint64
+	L1DHits, L1DMisses          uint64
+	LLCHits, LLCMisses          uint64
+	DRAMReads, DRAMWrites       uint64
+	WritebacksL1, WritebacksLLC uint64
+	PrefetchesIssued            uint64
+	PrefetchesUseful            uint64
+	PrefetchesLate              uint64
+	WrongPathLoads              uint64
+
+	// MLP: sum of outstanding LLC-missing demand loads over cycles where at
+	// least one is outstanding.
+	mlpSum    uint64
+	mlpCycles uint64
+
+	// Fig. 1: ROB occupancy sampled during full-window stalls.
+	StallROBCritical    uint64
+	StallROBNonCritical uint64
+	StallROBSamples     uint64
+
+	// CDF mechanism.
+	CDFModeCycles        uint64
+	CDFEntries           uint64
+	CDFExits             uint64
+	CriticalUopsFetched  uint64
+	CriticalUopsRetired  uint64
+	TracesInstalled      uint64
+	FillBufferWalks      uint64
+	WalksRejectedSparse  uint64
+	WalksRejectedDense   uint64
+	DependenceViolations uint64
+	MemOrderViolations   uint64
+	CUCHits, CUCMisses   uint64
+	PartitionGrows       uint64
+	PartitionShrinks     uint64
+
+	// PRE mechanism.
+	RunaheadIntervals  uint64
+	RunaheadCycles     uint64
+	RunaheadUops       uint64
+	RunaheadPrefetches uint64
+}
+
+// TickMLP records one cycle with n outstanding LLC-missing demand loads.
+func (s *Stats) TickMLP(n int) {
+	if n > 0 {
+		s.mlpSum += uint64(n)
+		s.mlpCycles++
+	}
+}
+
+// MLP returns the average number of outstanding LLC misses over cycles with
+// at least one outstanding (the paper's MLP metric).
+func (s *Stats) MLP() float64 {
+	if s.mlpCycles == 0 {
+		return 0
+	}
+	return float64(s.mlpSum) / float64(s.mlpCycles)
+}
+
+// SampleStallROB records a Fig.-1 style sample: how many ROB entries hold
+// critical vs non-critical uops during a full-window stall cycle.
+func (s *Stats) SampleStallROB(critical, nonCritical int) {
+	s.StallROBCritical += uint64(critical)
+	s.StallROBNonCritical += uint64(nonCritical)
+	s.StallROBSamples++
+}
+
+// StallROBCriticalFrac returns the average fraction of ROB entries holding
+// critical-path uops during full-window stalls.
+func (s *Stats) StallROBCriticalFrac() float64 {
+	tot := s.StallROBCritical + s.StallROBNonCritical
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.StallROBCritical) / float64(tot)
+}
+
+// IPC returns retired uops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RetiredUops) / float64(s.Cycles)
+}
+
+// BranchMPKI returns branch mispredictions per kilo-instruction.
+func (s *Stats) BranchMPKI() float64 {
+	if s.RetiredUops == 0 {
+		return 0
+	}
+	return 1000 * float64(s.BranchMispredicts) / float64(s.RetiredUops)
+}
+
+// LLCMPKI returns LLC misses per kilo-instruction.
+func (s *Stats) LLCMPKI() float64 {
+	if s.RetiredUops == 0 {
+		return 0
+	}
+	return 1000 * float64(s.LLCMisses) / float64(s.RetiredUops)
+}
+
+// MemTraffic returns total DRAM transfers (reads + writes), the paper's
+// memory traffic metric (Fig. 15).
+func (s *Stats) MemTraffic() uint64 { return s.DRAMReads + s.DRAMWrites }
+
+// Table returns the counters as sorted name/value rows for reports.
+func (s *Stats) Table() []Row {
+	rows := []Row{
+		{"cycles", float64(s.Cycles)},
+		{"retired_uops", float64(s.RetiredUops)},
+		{"ipc", s.IPC()},
+		{"retired_loads", float64(s.RetiredLoads)},
+		{"retired_stores", float64(s.RetiredStores)},
+		{"retired_branches", float64(s.RetiredBranches)},
+		{"branch_mpki", s.BranchMPKI()},
+		{"branch_mispredicts", float64(s.BranchMispredicts)},
+		{"l1d_misses", float64(s.L1DMisses)},
+		{"llc_misses", float64(s.LLCMisses)},
+		{"llc_mpki", s.LLCMPKI()},
+		{"dram_reads", float64(s.DRAMReads)},
+		{"dram_writes", float64(s.DRAMWrites)},
+		{"mem_traffic", float64(s.MemTraffic())},
+		{"mlp", s.MLP()},
+		{"full_window_stall_cycles", float64(s.FullWindowStallCycles)},
+		{"rob_full_cycles", float64(s.ROBFullCycles)},
+		{"prefetches_issued", float64(s.PrefetchesIssued)},
+		{"prefetches_useful", float64(s.PrefetchesUseful)},
+		{"wrong_path_loads", float64(s.WrongPathLoads)},
+		{"cdf_mode_cycles", float64(s.CDFModeCycles)},
+		{"cdf_entries", float64(s.CDFEntries)},
+		{"critical_uops_fetched", float64(s.CriticalUopsFetched)},
+		{"traces_installed", float64(s.TracesInstalled)},
+		{"dependence_violations", float64(s.DependenceViolations)},
+		{"runahead_intervals", float64(s.RunaheadIntervals)},
+		{"runahead_prefetches", float64(s.RunaheadPrefetches)},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Row is one name/value pair in a stats report.
+type Row struct {
+	Name  string
+	Value float64
+}
+
+// String renders the full counter table.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	for _, r := range s.Table() {
+		fmt.Fprintf(&sb, "%-28s %14.3f\n", r.Name, r.Value)
+	}
+	return sb.String()
+}

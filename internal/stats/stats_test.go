@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPC(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+	s.Cycles, s.RetiredUops = 100, 250
+	if got := s.IPC(); got != 2.5 {
+		t.Fatalf("IPC = %v", got)
+	}
+}
+
+func TestMLPIntegration(t *testing.T) {
+	var s Stats
+	s.TickMLP(0) // idle cycles don't count
+	s.TickMLP(4)
+	s.TickMLP(2)
+	s.TickMLP(0)
+	if got := s.MLP(); got != 3 {
+		t.Fatalf("MLP = %v, want 3", got)
+	}
+	var empty Stats
+	if empty.MLP() != 0 {
+		t.Fatal("MLP with no samples should be 0")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	var s Stats
+	if s.BranchMPKI() != 0 || s.LLCMPKI() != 0 {
+		t.Fatal("zero-uop MPKIs should be 0")
+	}
+	s.RetiredUops = 10_000
+	s.BranchMispredicts = 50
+	s.LLCMisses = 120
+	if s.BranchMPKI() != 5 {
+		t.Fatalf("branch MPKI = %v", s.BranchMPKI())
+	}
+	if s.LLCMPKI() != 12 {
+		t.Fatalf("LLC MPKI = %v", s.LLCMPKI())
+	}
+}
+
+func TestMemTraffic(t *testing.T) {
+	s := Stats{DRAMReads: 7, DRAMWrites: 3}
+	if s.MemTraffic() != 10 {
+		t.Fatal("traffic = reads + writes")
+	}
+}
+
+func TestStallROBSampling(t *testing.T) {
+	var s Stats
+	if s.StallROBCriticalFrac() != 0 {
+		t.Fatal("no samples -> 0")
+	}
+	s.SampleStallROB(30, 70)
+	s.SampleStallROB(10, 90)
+	if got := s.StallROBCriticalFrac(); got != 0.2 {
+		t.Fatalf("critical frac = %v, want 0.2", got)
+	}
+	if s.StallROBSamples != 2 {
+		t.Fatal("sample count wrong")
+	}
+}
+
+func TestTableAndString(t *testing.T) {
+	var s Stats
+	s.Cycles, s.RetiredUops = 10, 20
+	s.DRAMReads = 5
+	rows := s.Table()
+	if len(rows) < 20 {
+		t.Fatalf("table has only %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Name < rows[i-1].Name {
+			t.Fatal("table must be name-sorted")
+		}
+	}
+	str := s.String()
+	for _, want := range []string{"ipc", "cycles", "dram_reads"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() missing %q", want)
+		}
+	}
+}
+
+// Property: the MLP average always lies between the min and max sampled
+// values, and TickMLP(0) never affects it.
+func TestQuickMLPBounds(t *testing.T) {
+	f := func(samples []uint8) bool {
+		var s Stats
+		min, max := 256, 0
+		n := 0
+		for _, v := range samples {
+			s.TickMLP(int(v))
+			if v > 0 {
+				n++
+				if int(v) < min {
+					min = int(v)
+				}
+				if int(v) > max {
+					max = int(v)
+				}
+			}
+		}
+		m := s.MLP()
+		if n == 0 {
+			return m == 0
+		}
+		return m >= float64(min) && m <= float64(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

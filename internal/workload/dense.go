@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// The dense family: stencil-style sweeps where most loads miss the LLC —
+// critical-instruction density is too high for CDF to skip anything (the
+// §3.2 density gate rejects >50% walks), but Precise Runahead prefetches
+// the next iterations' misses during the frequent long full-window stalls.
+// These model zeusmp, GemsFDTD, fotonik3d and roms, where the paper shows
+// PRE matching or beating CDF.
+
+func init() {
+	register(Workload{
+		Name: "zeusmp", SPEC: "434.zeusmp",
+		Phenotype: "large-stride stencil with long address chains; criticality too dense for CDF",
+		Expect:    "pre",
+		Build:     func() (*prog.Program, *emu.Memory) { return buildStencil("zeusmp", 2, 256, 6, 4, false) },
+	})
+	register(Workload{
+		Name: "gems", SPEC: "459.GemsFDTD",
+		Phenotype: "3-stream large-stride stencil, heavy chains; dense criticality",
+		Expect:    "pre",
+		Build:     func() (*prog.Program, *emu.Memory) { return buildStencil("gems", 3, 512, 6, 5, false) },
+	})
+	register(Workload{
+		Name: "fotonik", SPEC: "649.fotonik3d_s",
+		Phenotype: "2-stream large-stride sweep with store traffic and dense chains",
+		Expect:    "pre",
+		Build:     func() (*prog.Program, *emu.Memory) { return buildStencil("fotonik", 2, 384, 5, 3, true) },
+	})
+	register(Workload{
+		Name: "roms", SPEC: "654.roms_s",
+		Phenotype: "mixed-stride sweep: one prefetchable stream plus large-stride arrays",
+		Expect:    "pre",
+		Build:     buildRoms,
+	})
+}
+
+var denseBases = []uint64{baseA, baseB, baseC, baseD, baseE, baseF}
+
+// buildStencil builds an n-array sweep with strideWords*8-byte strides
+// (large enough that the page-confined stream prefetcher cannot follow).
+// Every load's address goes through a chainLen-op dependent ALU chain from
+// the cursor — real stencils compute i/j/k index arithmetic per access —
+// which makes the criticality *density* high (each miss drags its whole
+// chain into the critical set) even though the miss *rate* is moderate:
+// exactly the regime where the paper's §3.2 density gate keeps CDF out
+// while PRE's runahead happily executes the chains during stalls. Loop
+// branches only: fully predictable.
+func buildStencil(name string, arrays int, strideWords int64, chainLen, fp int, storeStream bool) (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	for i := 0; i < arrays; i++ {
+		hashRegion(m, denseBases[i], 1<<24, uint64(0xD0+i)) // 128MB each
+	}
+
+	b := prog.NewBuilder(name)
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	for i := 0; i < arrays; i++ {
+		b.MovI(r(2+i), int64(denseBases[i])) // array cursors
+	}
+	b.MovI(r(20), baseSmall)
+	b.MovI(r(11), 0)
+	stride := strideWords * 8
+
+	loop := b.Label()
+	for i := 0; i < arrays; i++ {
+		// Dependent index arithmetic: in-line offset from the iteration
+		// counter through a serial chain.
+		b.AndI(r(13), r(1), 3)
+		b.ShlI(r(13), r(13), 3)
+		for k := 2; k < chainLen; k++ {
+			b.AddI(r(13), r(13), 0)
+		}
+		b.Add(r(14), r(2+i), r(13))
+		b.Load(r(15+i), r(14), 0) // large-stride miss
+	}
+	for i := 1; i < arrays; i++ {
+		b.FAdd(r(15), r(15), r(15+i))
+	}
+	// Boundary conditional on loaded data: rare (~1/16 taken), so TAGE
+	// mispredicts it a few percent of the time — and each misprediction poisons a
+	// stretch of Runahead walks (real stencils carry such boundary checks).
+	b.AndI(r(26), r(15), 15)
+	edge := b.ReserveLabel()
+	b.Bne(r(26), r(0), edge)
+	b.FMul(r(15), r(15), r(15))
+	b.Place(edge)
+	fpFiller(b, fp)
+	if storeStream {
+		b.Store(r(2), 8, r(15)) // store into the first stream's line
+	} else {
+		b.Store(r(20), 0, r(15))
+	}
+	for i := 0; i < arrays; i++ {
+		b.AddI(r(2+i), r(2+i), stride)
+	}
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildRoms mixes one unit-stride (prefetchable) stream with three
+// large-stride miss streams; the paper notes roms/fotonik prefer larger
+// windows and PRE's unbounded prefetch distance.
+func buildRoms() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0x20)
+	hashRegion(m, baseB, 1<<24, 0x21)
+	hashRegion(m, baseIdx, 1<<24, 0x23)
+
+	b := prog.NewBuilder("roms")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(5), baseIdx)
+	b.MovI(r(20), baseSmall)
+
+	loop := b.Label()
+	b.Load(r(12), r(5), 0) // unit-stride: prefetched
+	b.Load(r(13), r(2), 0) // large-stride misses
+	b.Load(r(14), r(3), 0)
+	b.FAdd(r(16), r(12), r(13))
+	b.FMul(r(16), r(16), r(14))
+	fpFiller(b, 10)
+	b.Store(r(20), 0, r(16))
+	b.AddI(r(5), r(5), 8)
+	b.AddI(r(2), r(2), 2048)
+	b.AddI(r(3), r(3), 2048)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}

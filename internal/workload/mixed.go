@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// The awkward-density family: benchmarks the paper reports as helped by
+// neither CDF nor PRE (§4.2 — leslie3d, sphinx, omnetpp): criticality
+// density sits between the sparse and dense regimes, chains are long or
+// dependent, and branch behaviour burns runahead.
+
+func init() {
+	register(Workload{
+		Name: "leslie3d", SPEC: "437.leslie3d",
+		Phenotype: "dependent miss pairs with mid-density chains; neither technique helps",
+		Expect:    "neither",
+		Build:     buildLeslie,
+	})
+	register(Workload{
+		Name: "sphinx", SPEC: "482.sphinx3",
+		Phenotype: "moderate misses drowned in hard data-dependent branches",
+		Expect:    "neither",
+		Build:     buildSphinx,
+	})
+	register(Workload{
+		Name: "omnetpp", SPEC: "471.omnetpp",
+		Phenotype: "pointer-heavy event queue with high branch MPKI and mid-density misses",
+		Expect:    "neither",
+		Build:     buildOmnetpp,
+	})
+}
+
+// buildLeslie does dependent miss pairs: a large-stride load whose value
+// indexes a second array (so the second miss serializes behind the first),
+// plus a moderate amount of FP work. The chain covers most of the loop —
+// too dense to skip, too serial to overlap.
+func buildLeslie() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0x3D)
+	hashRegion(m, baseB, 1<<23, 0x3E)
+
+	b := prog.NewBuilder("leslie3d")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(28), (1<<23)-1)
+	b.MovI(r(20), baseSmall)
+
+	loop := b.Label()
+	b.AndI(r(21), r(1), 7) // index arithmetic feeding miss 1
+	b.ShlI(r(21), r(21), 3)
+	b.AddI(r(21), r(21), 0)
+	b.Add(r(22), r(2), r(21))
+	b.Load(r(12), r(22), 0) // miss 1 (large stride)
+	b.And(r(13), r(12), r(28))
+	b.ShlI(r(14), r(13), 3)
+	b.Add(r(15), r(3), r(14))
+	b.Load(r(16), r(15), 0) // miss 2: depends on miss 1
+	b.FAdd(r(17), r(16), r(12))
+	fpFiller(b, 4)
+	b.Store(r(20), 0, r(17))
+	b.AddI(r(2), r(2), 1024)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildSphinx interleaves moderate misses with three hard data-dependent
+// branches per iteration on cached random scores: both CDF's critical
+// frontend and PRE's runahead slices spend their time on wrong paths.
+func buildSphinx() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<23, 0x5F1)
+	hashRegion(m, baseSmall, 512, 0x5F2) // 4KB score table
+
+	b := prog.NewBuilder("sphinx")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(5), baseSmall)
+	b.MovI(r(31), 511)
+	b.MovI(r(18), 3)
+	b.MovI(r(11), 0)
+
+	loop := b.Label()
+	b.Load(r(12), r(2), 0) // moderate-stride miss
+	// Three score lookups with data branches; the index arithmetic chains
+	// are long, so marking the (hopeless, ~50/50) branches critical drags
+	// most of the loop into the critical set — the in-between density the
+	// paper says fits neither of CDF's regimes.
+	for k := 0; k < 3; k++ {
+		b.AddI(r(18), r(18), int64(7+k))
+		b.AddI(r(18), r(18), 1)
+		b.And(r(13), r(18), r(31))
+		b.ShlI(r(14), r(13), 3)
+		b.Add(r(15), r(5), r(14))
+		b.Load(r(16), r(15), 0)
+		sk := b.ReserveLabel()
+		b.Blt(r(16), r(0), sk) // ~50/50 on random score
+		b.Add(r(11), r(11), r(16))
+		b.Place(sk)
+	}
+	filler(b, 2)
+	b.AddI(r(2), r(2), 512)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildOmnetpp chases an event-queue pointer graph with value branches on
+// every node and little skippable work between misses — mid-density
+// criticality plus high branch MPKI.
+func buildOmnetpp() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	chaseRegion(m, baseA, 1<<20, 64)
+	chaseRegion(m, baseB, 1<<19, 64)
+
+	b := prog.NewBuilder("omnetpp")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(11), 0)
+
+	loop := b.Label()
+	b.Load(r(2), r(2), 0) // event chain
+	b.Load(r(12), r(2), 16)
+	alt := b.ReserveLabel()
+	b.Blt(r(12), r(0), alt) // random node value
+	b.Load(r(3), r(3), 0)   // secondary chain on one path only
+	b.AddI(r(11), r(11), 1)
+	b.Place(alt)
+	b.Load(r(13), r(2), 24)
+	b.Add(r(11), r(11), r(13))
+	filler(b, 3)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}

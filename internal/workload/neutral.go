@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// The remaining suite members the paper's §4.2 discussion names: wrf and
+// parest ("do not do well with either" — awkward criticality densities),
+// and CactuBSSN (whose PRE SimPoints regress from excess memory traffic).
+
+func init() {
+	register(Workload{
+		Name: "wrf", SPEC: "481.wrf",
+		Phenotype: "dependent miss pairs behind long index chains; density in neither regime",
+		Expect:    "neither",
+		Build:     buildWrf,
+	})
+	register(Workload{
+		Name: "parest", SPEC: "554.parest_r",
+		Phenotype: "chained FEM gathers; chains cover most of the loop",
+		Expect:    "neither",
+		Build:     buildParest,
+	})
+	register(Workload{
+		Name: "cactus", SPEC: "607.cactuBSSN_s",
+		Phenotype: "stencil with data-dependent branches: runahead slices go wrong and waste bandwidth",
+		Expect:    "neither",
+		Build:     buildCactus,
+	})
+}
+
+// buildWrf: weather-model phenotype — two dependent misses per iteration
+// whose address chains cover most of the loop (density trips the >50%
+// gate, so CDF stays out), with the second miss serialized behind the
+// first (nothing for runahead to overlap).
+func buildWrf() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0x3F1)
+	hashRegion(m, baseB, 1<<23, 0x3F2)
+
+	b := prog.NewBuilder("wrf")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(28), (1<<23)-1)
+	b.MovI(r(20), baseSmall)
+
+	loop := b.Label()
+	// Chain into miss 1.
+	b.AndI(r(21), r(1), 7)
+	b.ShlI(r(21), r(21), 3)
+	b.AddI(r(21), r(21), 0)
+	b.AddI(r(21), r(21), 0)
+	b.Add(r(22), r(2), r(21))
+	b.Load(r(12), r(22), 0)
+	// Chain into miss 2 from miss 1's value.
+	b.And(r(13), r(12), r(28))
+	b.XorI(r(13), r(13), 0x11)
+	b.And(r(13), r(13), r(28))
+	b.ShlI(r(14), r(13), 3)
+	b.Add(r(15), r(3), r(14))
+	b.Load(r(16), r(15), 0)
+	b.FAdd(r(17), r(16), r(12))
+	fpFiller(b, 3)
+	b.Store(r(20), 0, r(17))
+	b.AddI(r(2), r(2), 1536)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildParest: finite-element assembly phenotype — gathers through long
+// chained index arithmetic; the chains put criticality density over the
+// gate, and the gathers' addresses need loaded values, limiting runahead.
+func buildParest() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseIdx, 1<<24, 0x9A1)
+	hashRegion(m, baseB, 1<<23, 0x9A2)
+
+	b := prog.NewBuilder("parest")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseIdx)
+	b.MovI(r(3), baseB)
+	b.MovI(r(28), (1<<23)-1)
+	b.MovI(r(20), baseSmall)
+	b.MovI(r(11), 0)
+	b.MovI(r(9), 1)
+
+	loop := b.Label()
+	b.Load(r(5), r(2), 0) // index stream (prefetchable)
+	// Long chained index arithmetic into the gather; folding in the
+	// previous gather's value serializes the misses (runahead cannot run
+	// the chain ahead of the data).
+	b.Xor(r(6), r(5), r(9))
+	b.And(r(6), r(6), r(28))
+	b.XorI(r(6), r(6), 0x2D)
+	b.And(r(6), r(6), r(28))
+	b.AddI(r(6), r(6), 0)
+	b.AddI(r(6), r(6), 0)
+	b.ShlI(r(7), r(6), 3)
+	b.Add(r(8), r(3), r(7))
+	b.Load(r(9), r(8), 0) // gather miss
+	b.FMul(r(10), r(9), r(5))
+	b.FAdd(r(11), r(11), r(10))
+	b.Store(r(20), 8, r(11))
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildCactus: BSSN-kernel phenotype — a large-stride stencil whose update
+// branches on loaded values (~50/50). Full-window stalls mostly coincide
+// with unresolved mispredictions, so Precise Runahead's slices run down
+// wrong paths and burn DRAM bandwidth ("excess memory traffic", §4.2's
+// note on CactuBSSN). The chain density keeps CDF's gate shut.
+func buildCactus() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0xCAC)
+	hashRegion(m, baseB, 1<<24, 0xCAD)
+
+	b := prog.NewBuilder("cactus")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(20), baseSmall)
+
+	loop := b.Label()
+	// Chained addresses into two large-stride misses.
+	b.AndI(r(21), r(1), 3)
+	b.ShlI(r(21), r(21), 4)
+	b.AddI(r(21), r(21), 0)
+	b.AddI(r(21), r(21), 0)
+	b.Add(r(22), r(2), r(21))
+	b.Load(r(12), r(22), 0)
+	b.Add(r(23), r(3), r(21))
+	b.Load(r(13), r(23), 0)
+	b.AndI(r(14), r(12), 1)
+	alt := b.ReserveLabel()
+	b.Beq(r(14), r(0), alt) // ~50/50 on loaded data
+	b.FAdd(r(15), r(12), r(13))
+	b.Place(alt)
+	b.FMul(r(16), r(13), r(13))
+	fpFiller(b, 2)
+	b.Store(r(20), 0, r(16))
+	b.AddI(r(2), r(2), 2048)
+	b.AddI(r(3), r(3), 2048)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}

@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// The sparse family: kernels whose critical instructions are a small
+// fraction of the dynamic stream, so CDF can skip far ahead. These are the
+// paper's best CDF performers (astar, mcf, bzip, soplex, nab).
+
+func init() {
+	register(Workload{
+		Name: "astar", SPEC: "473.astar",
+		Phenotype: "random indexed loads behind a prefetchable index stream; hard data-dependent branch",
+		Expect:    "cdf",
+		Build:     buildAstar,
+	})
+	register(Workload{
+		Name: "mcf", SPEC: "429.mcf",
+		Phenotype: "pointer chase over a 64MB graph with data-dependent branches",
+		Expect:    "cdf",
+		Build:     buildMcf,
+	})
+	register(Workload{
+		Name: "bzip", SPEC: "401.bzip2",
+		Phenotype: "distant independent critical loads behind branchy cached table work",
+		Expect:    "cdf",
+		Build:     buildBzip,
+	})
+	register(Workload{
+		Name: "soplex", SPEC: "450.soplex",
+		Phenotype: "sparse matrix-vector: indexed gather with independent misses",
+		Expect:    "cdf",
+		Build:     buildSoplex,
+	})
+	register(Workload{
+		Name: "nab", SPEC: "644.nab_s",
+		Phenotype: "sparse dependent misses separated by FP work; predictable branches",
+		Expect:    "cdf",
+		Build:     buildNab,
+	})
+}
+
+// buildAstar reproduces the paper's Fig. 2 code segment: a loop whose line-2
+// load walks an index array sequentially (fully covered by the stream
+// prefetcher) and whose line-3 load indexes a 64MB array with the loaded
+// (input-dependent, effectively random) value — an LLC miss on nearly every
+// iteration, independent across iterations. A branch on the loaded value is
+// hard to predict; marking it critical is what lets CDF keep fetching
+// (§4.2: astar needs critical branches).
+func buildAstar() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseIdx, 1<<24, 0xA57A) // 128MB index stream
+	hashRegion(m, baseA, 1<<23, 0xB16A)   // 64MB random-access array
+
+	b := prog.NewBuilder("astar")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseIdx)    // index cursor
+	b.MovI(r(3), baseA)      // big array base
+	b.MovI(r(28), (1<<23)-1) // word-index mask (8M words)
+	b.MovI(r(12), baseSmall) // small result buffer
+	b.MovI(r(11), 0)
+
+	loop := b.Label()
+	b.Load(r(5), r(2), 0) // bound1p[i]: sequential, prefetchable
+	b.And(r(6), r(5), r(28))
+	b.ShlI(r(7), r(6), 3)
+	b.Add(r(8), r(3), r(7))
+	b.Load(r(9), r(8), 0) // the critical load: random 64MB access
+	b.AddI(r(10), r(9), 1)
+	b.AndI(r(13), r(9), 3)
+	skip := b.ReserveLabel()
+	b.Bne(r(13), r(0), skip) // data-dependent, ~25% mispredicted: hard for TAGE
+	// Taken path: a little extra work on the loaded value.
+	b.Add(r(11), r(11), r(10))
+	filler(b, 2)
+	b.Place(skip)
+	b.Store(r(12), 0, r(10))
+	filler(b, 12)
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildMcf is a pointer chase over a 64MB graph (1M nodes of 64B): each
+// iteration loads the next-node pointer (a dependent LLC miss — no MLP to
+// extract) and a value from the node, branches on the value, and does
+// pointer-free bookkeeping. CDF helps by initiating each chase step as
+// early as possible and by resolving the value branch early.
+func buildMcf() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	chaseRegion(m, baseA, 1<<20, 64)
+
+	b := prog.NewBuilder("mcf")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA) // current node pointer
+	b.MovI(r(12), baseSmall)
+	b.MovI(r(11), 0)
+
+	loop := b.Label()
+	b.Load(r(2), r(2), 0) // next = node->next (critical, dependent)
+	b.Load(r(4), r(2), 8) // value on the same line
+	b.AddI(r(5), r(4), 1)
+	b.AndI(r(13), r(4), 1)
+	other := b.ReserveLabel()
+	b.Beq(r(13), r(0), other) // data branch on random node content (~50/50)
+	b.Add(r(11), r(11), r(5))
+	filler(b, 3)
+	b.Place(other)
+	b.Store(r(12), 8, r(11))
+	filler(b, 10)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildBzip models bzip2's phenotype: long stretches of branchy,
+// cache-resident table manipulation separated by independent critical loads
+// several hundred uops apart. The critical-load address derives from the
+// outer counter only, so CDF can compute it without the intervening work —
+// the "initiating critical loads earlier" benefit (§2.3). The inner-loop
+// branches are data-dependent on random table contents; marking them
+// critical keeps the CDF frontend moving.
+func buildBzip() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<23, 0xB21)     // 64MB array
+	hashRegion(m, baseSmall, 256, 0x7AB1E) // 2KB cached table
+
+	b := prog.NewBuilder("bzip")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), 1) // outer counter
+	b.MovI(r(3), baseA)
+	b.MovI(r(28), (1<<23)-1)
+	b.MovI(r(30), 0x9E3779B1) // index hash multiplier
+	b.MovI(r(5), baseSmall)
+	b.MovI(r(31), 255) // table mask
+	b.MovI(r(18), 7)   // inner LCG state
+	b.MovI(r(11), 0)
+
+	outer := b.Label()
+	// Critical load: address from the outer counter alone, through a
+	// several-op index chain — computable without any of the table work, so
+	// CDF can initiate it from far away. Consecutive outer loads are
+	// independent: MLP exists only beyond the 352-entry window.
+	b.Mul(r(6), r(2), r(30))
+	b.And(r(6), r(6), r(28))
+	b.XorI(r(6), r(6), 0x3F)
+	b.And(r(6), r(6), r(28))
+	b.ShlI(r(7), r(6), 3)
+	b.Add(r(8), r(3), r(7))
+	b.Load(r(9), r(8), 0)
+	b.Add(r(11), r(11), r(9)) // sink accumulate
+	b.AddI(r(2), r(2), 1)
+	b.MovI(r(4), 20) // inner trips: ~600 uops between critical loads
+
+	inner := b.Label()
+	b.AddI(r(18), r(18), 13)
+	b.And(r(13), r(18), r(31))
+	b.ShlI(r(15), r(13), 3)
+	b.Add(r(16), r(5), r(15))
+	b.Load(r(17), r(16), 0) // cached table load
+	b.AndI(r(19), r(17), 15)
+	innSkip := b.ReserveLabel()
+	b.Beq(r(19), r(0), innSkip) // data branch, ~6% mispredicted: hard for
+	// TAGE, and frequent enough that Runahead's walk diverges before it can
+	// reach the next distant critical load (the paper's point (c)).
+	b.AddI(r(21), r(21), 5) // taken-path work off the critical chains
+	filler(b, 2)
+	b.Place(innSkip)
+	filler(b, 18)
+	b.SubI(r(4), r(4), 1)
+	b.Bne(r(4), r(0), inner)
+
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), outer)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildSoplex models the sparse-matrix inner loop: a sequential,
+// prefetchable stream of column indices drives a gather from a 32MB vector
+// — independent misses with plenty of MLP — accumulated through FP ops,
+// with an occasional data-dependent skip branch.
+func buildSoplex() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseIdx, 1<<24, 0x50) // column index stream
+	hashRegion(m, baseB, 1<<22, 0x51)   // 32MB x-vector
+
+	b := prog.NewBuilder("soplex")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseIdx)
+	b.MovI(r(3), baseB)
+	b.MovI(r(28), (1<<22)-1)
+	b.MovI(r(11), 0)
+	b.MovI(r(12), baseSmall)
+
+	loop := b.Label()
+	b.Load(r(5), r(2), 0) // col = idx[i] (prefetchable)
+	b.And(r(6), r(5), r(28))
+	b.ShlI(r(7), r(6), 3)
+	b.Add(r(8), r(3), r(7))
+	b.Load(r(9), r(8), 0) // x[col]: critical gather
+	b.FMul(r(10), r(9), r(5))
+	b.AndI(r(13), r(9), 7)
+	skip := b.ReserveLabel()
+	b.Bne(r(13), r(0), skip) // skip small entries (~12.5% mispredicted)
+	b.FAdd(r(11), r(11), r(10))
+	filler(b, 2)
+	b.Place(skip)
+	filler(b, 6)
+	b.Store(r(12), 16, r(11))
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildNab models nab's phenotype: dependent critical loads a few hundred
+// uops apart (the next miss address derives from the previous loaded value
+// — no MLP available) with predictable-branch FP work in between. CDF's
+// only lever here is initiating the next miss sooner (§2.3); the paper
+// calls out nab (with bzip) as gaining from faster initiation, not
+// parallelism.
+func buildNab() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<23, 0x4AB)
+
+	b := prog.NewBuilder("nab")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(3), baseA)
+	b.MovI(r(28), (1<<23)-1)
+	b.MovI(r(30), 0x2545F491)
+	b.MovI(r(9), 1)
+
+	b.MovI(r(2), 0) // pair counter: decorrelates successive indices
+
+	outer := b.Label()
+	// Next address depends on the previous loaded value through a long
+	// index chain (as in real force-field lookups): serial misses, spaced
+	// beyond the instruction window by the inner FP work. Folding in the
+	// pair counter keeps the index orbit aperiodic.
+	b.AddI(r(2), r(2), 1)
+	b.Mul(r(6), r(9), r(30))
+	b.Xor(r(6), r(6), r(2))
+	b.Mul(r(6), r(6), r(30))
+	for k := 0; k < 8; k++ {
+		b.XorI(r(6), r(6), int64(0x55+k))
+	}
+	b.And(r(6), r(6), r(28))
+	b.ShlI(r(7), r(6), 3)
+	b.Add(r(8), r(3), r(7))
+	b.Load(r(9), r(8), 0)
+	b.MovI(r(4), 40)
+	inner := b.Label()
+	// Four *independent* FP accumulator chains: enough ILP that the serial
+	// miss chain — not the FP work — bounds the iteration.
+	b.FAdd(r(24), r(24), r(28))
+	b.FAdd(r(25), r(25), r(28))
+	b.FAdd(r(26), r(26), r(28))
+	b.FAdd(r(27), r(27), r(28))
+	filler(b, 4)
+	b.SubI(r(4), r(4), 1)
+	b.Bne(r(4), r(0), inner) // predictable loop branch
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), outer)
+	b.Halt()
+	return b.MustProgram(), m
+}

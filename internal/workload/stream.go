@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// The streaming family: unit-stride sweeps the stream prefetcher covers
+// almost completely. Full-window stalls are few and short, so Runahead has
+// no room to work (the paper's point (a) about lbm); CDF retains a small
+// gain from whatever misses survive prefetching.
+
+func init() {
+	register(Workload{
+		Name: "lbm", SPEC: "470.lbm",
+		Phenotype: "unit-stride read-modify-write streams; prefetch-friendly, short stalls",
+		Expect:    "cdf",
+		Build:     buildLbm,
+	})
+	register(Workload{
+		Name: "libquantum", SPEC: "462.libquantum",
+		Phenotype: "single unit-stride sweep with a biased bit-test branch",
+		Expect:    "both",
+		Build:     buildLibquantum,
+	})
+}
+
+// buildLbm streams through two unit-stride arrays (load both, FP-combine,
+// store back to the first) — covered by the prefetcher — plus one
+// page-crossing neighbour stream the prefetcher cannot follow, whose misses
+// overlap across the wide window (short stalls): the D2Q19 update's memory
+// phenotype. Runahead gets no room (short stalls); CDF packs the neighbour
+// loads.
+func buildLbm() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0x1B)
+	hashRegion(m, baseB, 1<<24, 0x1C)
+	hashRegion(m, baseC, 1<<24, 0x1D)
+
+	b := prog.NewBuilder("lbm")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(3), baseB)
+	b.MovI(r(4), baseC)
+
+	loop := b.Label()
+	b.Load(r(12), r(2), 0)
+	b.Load(r(13), r(3), 0)
+	b.Load(r(14), r(2), 8)
+	b.Load(r(15), r(4), 0) // distant-neighbour stream: 2KB stride, misses
+	b.FAdd(r(16), r(12), r(13))
+	b.FMul(r(17), r(14), r(15))
+	b.FAdd(r(16), r(16), r(17))
+	fpFiller(b, 16)
+	b.Store(r(2), 0, r(16))
+	b.Store(r(2), 8, r(17))
+	b.AddI(r(2), r(2), 16)
+	b.AddI(r(3), r(3), 16)
+	b.AddI(r(4), r(4), 2048)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}
+
+// buildLibquantum sweeps one large array testing a low bit of each element
+// (taken ~1/16: predictable enough for TAGE), toggling and storing back —
+// the quantum-gate update's phenotype. Prefetching covers the stream.
+func buildLibquantum() (*prog.Program, *emu.Memory) {
+	m := emu.NewMemory()
+	hashRegion(m, baseA, 1<<24, 0x11B)
+
+	b := prog.NewBuilder("libquantum")
+	b.MovI(r(0), 0)
+	b.MovI(r(1), forever)
+	b.MovI(r(2), baseA)
+	b.MovI(r(28), 15)
+
+	loop := b.Label()
+	b.Load(r(12), r(2), 0)
+	b.And(r(13), r(12), r(28))
+	skip := b.ReserveLabel()
+	b.Bne(r(13), r(0), skip) // taken 15/16: biased, learnable
+	b.XorI(r(14), r(12), 4)  // "apply gate"
+	b.Store(r(2), 0, r(14))
+	filler(b, 2)
+	b.Place(skip)
+	filler(b, 4)
+	b.AddI(r(2), r(2), 8)
+	b.SubI(r(1), r(1), 1)
+	b.Bne(r(1), r(0), loop)
+	b.Halt()
+	return b.MustProgram(), m
+}

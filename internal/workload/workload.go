@@ -1,0 +1,153 @@
+// Package workload provides the benchmark suite: one synthetic kernel per
+// memory-intensive SPEC CPU2006/2017 benchmark the paper evaluates. We do
+// not have SPEC sources or inputs, so each kernel reproduces its
+// benchmark's *phenotype* along the four axes that drive the paper's
+// per-application results (§4.2):
+//
+//   - critical-load density (sparse chains CDF can skip vs dense ones it
+//     cannot),
+//   - LLC-miss independence (parallel misses = MLP available vs dependent
+//     pointer chases),
+//   - branch predictability (hard data-dependent branches vs loop
+//     branches),
+//   - inter-miss distance (misses packed in the window vs >1000 uops
+//     apart).
+//
+// Kernels carry the SPEC benchmark name they stand in for, suffixed with
+// "_like" in documentation; the mapping and rationale per kernel is in each
+// builder's comment.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cdf/internal/emu"
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name string
+	// SPEC is the benchmark this kernel is the phenotype stand-in for.
+	SPEC string
+	// Phenotype summarizes the memory/branch behaviour class.
+	Phenotype string
+	// Expect documents the paper's qualitative result for this benchmark
+	// ("cdf", "pre", "both", "neither") — used by shape tests.
+	Expect string
+	// Build constructs the program and its initial memory.
+	Build func() (*prog.Program, *emu.Memory)
+}
+
+var registry []Workload
+
+func register(w Workload) {
+	registry = append(registry, w)
+}
+
+// All returns every workload, name-sorted.
+func All() []Workload {
+	out := append([]Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted workload names.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// --- shared building blocks ---
+
+// Register aliases: the kernels use a conventional assignment.
+func r(i int) isa.Reg { return isa.Reg(i) }
+
+// Data segment layout: each kernel places arrays at these bases. All are
+// line-aligned and far apart so streams do not alias.
+const (
+	baseA     = 0x1000_0000 // primary big array
+	baseB     = 0x3000_0000 // secondary big array
+	baseC     = 0x5000_0000 // tertiary big array
+	baseD     = 0x7000_0000 // quaternary big array
+	baseE     = 0x9000_0000
+	baseF     = 0xB000_0000
+	baseIdx   = 0xD000_0000 // index/metadata array (sequentially read)
+	baseSmall = 0xF000_0000 // small cached scratch buffer
+)
+
+// hashRegion registers [lo, lo+words*8) with pseudo-random content.
+func hashRegion(m *emu.Memory, lo uint64, words uint64, salt uint64) {
+	m.AddRegion(lo, lo+words*8, func(addr uint64) int64 {
+		return int64(emu.SplitMix64(addr ^ salt))
+	})
+}
+
+// chaseRegion registers a pointer-chase graph: nodes of nodeBytes at
+// [lo, lo+n*nodeBytes); word 0 of node i points to node (a*i+c) mod n,
+// which is a full-period permutation for odd c and a ≡ 1 (mod 4) with n a
+// power of two.
+func chaseRegion(m *emu.Memory, lo uint64, n uint64, nodeBytes uint64) {
+	const a, c = 5, 12345
+	m.AddRegion(lo, lo+n*nodeBytes, func(addr uint64) int64 {
+		off := (addr - lo) % nodeBytes
+		i := (addr - lo) / nodeBytes
+		if off == 0 {
+			next := (a*i + c) & (n - 1)
+			return int64(lo + next*nodeBytes)
+		}
+		return int64(emu.SplitMix64(addr))
+	})
+}
+
+// forever is the loop trip count: effectively unbounded (runs are bounded
+// by the simulator's MaxRetired).
+const forever = int64(1) << 40
+
+// filler emits n independent single-cycle ALU ops on the scratch registers
+// r24..r27 — non-critical work the kernels pad their loops with.
+func filler(b *prog.Builder, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.AddI(r(24), r(24), 3)
+		case 1:
+			b.XorI(r(25), r(25), 0x55)
+		case 2:
+			b.AddI(r(26), r(26), 7)
+		case 3:
+			b.OrI(r(27), r(27), 1)
+		}
+	}
+}
+
+// fpFiller emits n floating-point-latency ops (dependent pairs) on
+// r24..r27.
+func fpFiller(b *prog.Builder, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			b.FAdd(r(24), r(24), r(25))
+		case 1:
+			b.FMul(r(25), r(25), r(26))
+		case 2:
+			b.FAdd(r(26), r(26), r(27))
+		}
+	}
+}

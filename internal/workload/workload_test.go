@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"testing"
+
+	"cdf/internal/emu"
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// The suite must cover the paper's benchmark list.
+	want := []string{
+		"astar", "bzip", "cactus", "fotonik", "gems", "lbm", "leslie3d",
+		"libquantum", "mcf", "nab", "omnetpp", "parest", "roms", "soplex",
+		"sphinx", "wrf", "zeusmp",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d kernels, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kernel %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("astar")
+	if err != nil || w.Name != "astar" {
+		t.Fatalf("ByName(astar) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, m := w.Build()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if m == nil {
+				t.Fatal("nil memory")
+			}
+			if w.SPEC == "" || w.Phenotype == "" || w.Expect == "" {
+				t.Fatal("missing metadata")
+			}
+		})
+	}
+}
+
+func TestAllKernelsEmulate(t *testing.T) {
+	// Every kernel must run 50k dynamic uops without halting or faulting.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, m := w.Build()
+			e := emu.New(p, m)
+			if n := e.Run(50_000); n != 50_000 {
+				t.Fatalf("emulated only %d uops", n)
+			}
+			if e.Halted() {
+				t.Fatal("kernel halted prematurely")
+			}
+		})
+	}
+}
+
+func TestBuildsAreIndependent(t *testing.T) {
+	// Two builds of the same kernel must not share memory state.
+	w, _ := ByName("lbm")
+	p1, m1 := w.Build()
+	_, m2 := w.Build()
+	e1 := emu.New(p1, m1)
+	e1.Run(10_000)
+	if m1.Footprint() > 0 && m2.Footprint() != 0 {
+		t.Fatal("second build saw the first build's writes")
+	}
+}
+
+// memStats runs a kernel and returns loads, stores, branches, and distinct
+// lines touched over n uops.
+func memStats(t *testing.T, name string, n uint64) (loads, stores, branches int, lines map[uint64]bool) {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, m := w.Build()
+	e := emu.New(p, m)
+	lines = make(map[uint64]bool)
+	var d emu.DynUop
+	for i := uint64(0); i < n && e.Step(&d); i++ {
+		switch {
+		case d.U.Op.IsLoad():
+			loads++
+			lines[d.Addr/64] = true
+		case d.U.Op.IsStore():
+			stores++
+		case d.U.Op.IsBranch():
+			branches++
+		}
+	}
+	return
+}
+
+func TestAstarPhenotype(t *testing.T) {
+	loads, _, _, lines := memStats(t, "astar", 50_000)
+	if loads == 0 {
+		t.Fatal("no loads")
+	}
+	// The critical load sweeps a huge random array: the footprint must far
+	// exceed the 16K-line LLC.
+	if len(lines) < 1000 {
+		t.Fatalf("astar touched only %d lines; expected a large random footprint", len(lines))
+	}
+}
+
+func TestMcfIsPointerChase(t *testing.T) {
+	// Consecutive chase addresses must depend on loaded data (aperiodic
+	// over a long window).
+	w, _ := ByName("mcf")
+	p, m := w.Build()
+	e := emu.New(p, m)
+	var d emu.DynUop
+	seen := map[uint64]bool{}
+	chaseLoads := 0
+	for i := 0; i < 100_000 && e.Step(&d); i++ {
+		if d.U.Op.IsLoad() && d.U.Imm == 0 && d.U.Dst == d.U.Src1 {
+			chaseLoads++
+			if seen[d.Addr] {
+				t.Fatalf("chase revisited %#x after %d steps", d.Addr, chaseLoads)
+			}
+			seen[d.Addr] = true
+		}
+	}
+	if chaseLoads < 100 {
+		t.Fatalf("only %d chase loads seen", chaseLoads)
+	}
+}
+
+func TestBzipCriticalLoadsAreDistant(t *testing.T) {
+	// bzip's phenotype: big-array loads separated by hundreds of uops.
+	w, _ := ByName("bzip")
+	p, m := w.Build()
+	e := emu.New(p, m)
+	var d emu.DynUop
+	var gaps []uint64
+	last := uint64(0)
+	for i := 0; i < 60_000 && e.Step(&d); i++ {
+		if d.U.Op.IsLoad() && d.Addr >= baseA && d.Addr < baseA+(1<<26) {
+			if last != 0 {
+				gaps = append(gaps, d.Seq-last)
+			}
+			last = d.Seq
+		}
+	}
+	if len(gaps) < 10 {
+		t.Fatalf("too few critical loads: %d", len(gaps))
+	}
+	var sum uint64
+	for _, g := range gaps {
+		sum += g
+	}
+	avg := sum / uint64(len(gaps))
+	if avg < 352 {
+		t.Fatalf("average critical-load spacing %d must exceed the 352-entry ROB", avg)
+	}
+}
+
+func TestLbmHasPrefetchableAndUnprefetchableStreams(t *testing.T) {
+	w, _ := ByName("lbm")
+	p, m := w.Build()
+	e := emu.New(p, m)
+	var d emu.DynUop
+	unit, page := 0, 0
+	var lastA, lastC uint64
+	for i := 0; i < 30_000 && e.Step(&d); i++ {
+		if !d.U.Op.IsLoad() {
+			continue
+		}
+		switch {
+		case d.Addr >= baseA && d.Addr < baseA+(1<<27):
+			if lastA != 0 && d.Addr-lastA <= 64 {
+				unit++
+			}
+			lastA = d.Addr
+		case d.Addr >= baseC && d.Addr < baseC+(1<<27):
+			if lastC != 0 && d.Addr-lastC >= 1024 {
+				page++
+			}
+			lastC = d.Addr
+		}
+	}
+	if unit == 0 || page == 0 {
+		t.Fatalf("lbm streams: unit=%d page=%d; want both", unit, page)
+	}
+}
+
+func TestDenseKernelsAreChainHeavy(t *testing.T) {
+	// The dense family's loads sit behind dependent address chains (that is
+	// what trips the density gate): count ALU uops between loads.
+	for _, name := range []string{"zeusmp", "gems", "fotonik"} {
+		loads, _, _, _ := memStats(t, name, 20_000)
+		if loads == 0 {
+			t.Fatalf("%s: no loads", name)
+		}
+		ratio := float64(20_000) / float64(loads)
+		if ratio < 8 {
+			t.Fatalf("%s: a load every %.1f uops; chains too short", name, ratio)
+		}
+	}
+}
+
+func TestBranchBiases(t *testing.T) {
+	// astar's data branch is biased (not 50/50), sphinx's are near 50/50.
+	taken := func(name string, n int) (cond, t50 int) {
+		w, _ := ByName(name)
+		p, m := w.Build()
+		e := emu.New(p, m)
+		var d emu.DynUop
+		takenBy := map[uint64][2]int{}
+		for i := 0; i < n && e.Step(&d); i++ {
+			if d.U.Op.IsCondBranch() {
+				c := takenBy[d.PC]
+				if d.Taken {
+					c[0]++
+				}
+				c[1]++
+				takenBy[d.PC] = c
+			}
+		}
+		for _, c := range takenBy {
+			if c[1] < 100 {
+				continue
+			}
+			cond++
+			rate := float64(c[0]) / float64(c[1])
+			if rate > 0.35 && rate < 0.65 {
+				t50++
+			}
+		}
+		return
+	}
+	if _, t50 := taken("sphinx", 40_000); t50 == 0 {
+		t.Fatal("sphinx should have ~50/50 branches")
+	}
+	if cond, t50 := taken("nab", 40_000); t50 != 0 || cond == 0 {
+		t.Fatal("nab's branches should all be predictable")
+	}
+}
+
+func TestHashRegionDeterminism(t *testing.T) {
+	m1, m2 := emu.NewMemory(), emu.NewMemory()
+	hashRegion(m1, 0x1000, 100, 42)
+	hashRegion(m2, 0x1000, 100, 42)
+	for a := uint64(0x1000); a < 0x1000+800; a += 8 {
+		if m1.Read64(a) != m2.Read64(a) {
+			t.Fatal("hash regions must be deterministic")
+		}
+	}
+	m3 := emu.NewMemory()
+	hashRegion(m3, 0x1000, 100, 43)
+	if m1.Read64(0x1000) == m3.Read64(0x1000) {
+		t.Fatal("different salts should differ")
+	}
+}
+
+func TestChaseRegionIsPermutation(t *testing.T) {
+	m := emu.NewMemory()
+	const n = 1 << 12
+	chaseRegion(m, 0, n, 64)
+	seen := map[uint64]bool{}
+	addr := uint64(0)
+	for i := 0; i < n; i++ {
+		if seen[addr] {
+			t.Fatalf("chase cycled after %d of %d nodes", i, n)
+		}
+		seen[addr] = true
+		next := uint64(m.Read64(addr))
+		if next >= n*64 || next%64 != 0 {
+			t.Fatalf("chase pointer %#x out of bounds", next)
+		}
+		addr = next
+	}
+}
+
+func TestFillerDoesNotTouchKernelRegisters(t *testing.T) {
+	// filler/fpFiller only write r24..r27 — they must never clobber kernel
+	// state registers.
+	b := prog.NewBuilder("fillers")
+	filler(b, 16)
+	fpFiller(b, 9)
+	b.Halt()
+	p := b.MustProgram()
+	for _, blk := range p.Blocks {
+		for _, u := range blk.Uops {
+			if u.Op == isa.OpHalt {
+				continue
+			}
+			if u.Dst.Valid() && (u.Dst < 24 || u.Dst > 27) {
+				t.Fatalf("filler wrote %v", u.Dst)
+			}
+		}
+	}
+}
