@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is what the checked-in code must pass.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulator ~10x, so the race pass runs the
+# short suite (the behavioural shape tests are skipped; the harness and
+# pool concurrency tests are what it is for).
+race:
+	$(GO) test -race -short ./...
+
+# A brief native-fuzz run of the core: random programs on random machine
+# modes must complete under the watchdog with paranoid invariant checks.
+fuzz-smoke:
+	$(GO) test ./internal/core -run FuzzCore -fuzz FuzzCore -fuzztime 10s
+
+ci: vet build test race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

@@ -16,18 +16,34 @@
 package cdf
 
 import (
+	"context"
 	"fmt"
-	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"cdf/internal/core"
 	"cdf/internal/energy"
+	"cdf/internal/harness"
 	"cdf/internal/stats"
 	"cdf/internal/workload"
 )
 
 // Mode selects the simulated machine.
 type Mode = core.Mode
+
+// StopReason classifies how a run ended (see core.StopReason). Results
+// whose StopReason is not StopCompleted carry truncated statistics; Run
+// returns an error for them, and suite sweeps exclude them from geomeans.
+type StopReason = core.StopReason
+
+// Stop reasons.
+const (
+	StopCompleted   = core.StopCompleted
+	StopCycleBudget = core.StopCycleBudget
+	StopWatchdog    = core.StopWatchdog
+)
 
 // The three machines of the evaluation, plus the §6 future-work extension.
 const (
@@ -79,6 +95,15 @@ type Options struct {
 
 	// Seed drives the deterministic wrong-path models.
 	Seed uint64
+
+	// Timeout bounds the run's wall-clock time; an expired run fails with
+	// a *harness.SimError carrying a machine snapshot (0 = no limit).
+	Timeout time.Duration
+
+	// Paranoid runs core.CheckInvariants every few thousand cycles during
+	// the run, turning silent state corruption into an immediate
+	// diagnosable failure. Costs roughly 2x wall-clock.
+	Paranoid bool
 }
 
 // DefaultMaxUops is the per-run instruction budget when Options.MaxUops is
@@ -86,21 +111,57 @@ type Options struct {
 // behaviour, short enough that the full suite runs in seconds.
 const DefaultMaxUops = 100_000
 
-// coreConfig materializes a core.Config from Options.
+// paranoidCheckEvery is the invariant-check period for Options.Paranoid.
+const paranoidCheckEvery = 2048
+
+// effectiveMaxUops returns the run budget with the zero default applied.
+func (o Options) effectiveMaxUops() uint64 {
+	if o.MaxUops == 0 {
+		return DefaultMaxUops
+	}
+	return o.MaxUops
+}
+
+// Validate checks the options. Every entry point calls it, so an invalid
+// combination fails fast instead of being silently clamped into a run
+// that measures something other than what was asked for.
+func (o Options) Validate() error {
+	switch o.Mode {
+	case ModeBaseline, ModeCDF, ModePRE, ModeHybrid:
+	default:
+		return fmt.Errorf("cdf: unknown mode %d", int(o.Mode))
+	}
+	if max := o.effectiveMaxUops(); o.WarmupUops >= max {
+		return fmt.Errorf("cdf: WarmupUops (%d) must be below the run budget (%d uops): the measured region would be empty",
+			o.WarmupUops, max)
+	}
+	if o.ROBSize < 0 {
+		return fmt.Errorf("cdf: negative ROBSize %d", o.ROBSize)
+	}
+	if o.CUCKB < 0 {
+		return fmt.Errorf("cdf: negative CUCKB %d", o.CUCKB)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("cdf: negative Timeout %v", o.Timeout)
+	}
+	return nil
+}
+
+// coreConfig materializes a core.Config from Options (which must have
+// passed Validate).
 func (o Options) coreConfig() core.Config {
 	cfg := core.Default()
 	cfg.Mode = o.Mode
-	cfg.MaxRetired = o.MaxUops
-	if cfg.MaxRetired == 0 {
-		cfg.MaxRetired = DefaultMaxUops
-	}
+	cfg.MaxRetired = o.effectiveMaxUops()
 	cfg.WarmupRetired = o.WarmupUops
-	if cfg.WarmupRetired >= cfg.MaxRetired {
-		cfg.WarmupRetired = 0
-	}
 	// Backstop against pathological configurations; generous enough that
-	// no benchmark/mode hits it in practice.
+	// no benchmark/mode hits it in practice. The forward-progress
+	// watchdog (core.Config.WatchdogCycles, set by core.Default) aborts
+	// true deadlocks long before this.
 	cfg.MaxCycles = cfg.MaxRetired * 100
+	if o.Paranoid {
+		cfg.ParanoidEvery = paranoidCheckEvery
+	}
 	if o.ROBSize > 0 {
 		cfg = core.ScaleWindow(cfg, o.ROBSize)
 	}
@@ -129,6 +190,11 @@ type Metric struct {
 type Result struct {
 	Benchmark string
 	Mode      Mode
+
+	// StopReason records how the run ended. Results returned without an
+	// error always carry StopCompleted; it is threaded through so report
+	// code can assert it.
+	StopReason StopReason
 
 	Cycles uint64
 	Uops   uint64
@@ -182,6 +248,19 @@ func Benchmarks() []BenchmarkInfo {
 
 // Run simulates one benchmark under opt and returns its Result.
 func Run(benchmark string, opt Options) (Result, error) {
+	return RunContext(context.Background(), benchmark, opt)
+}
+
+// RunContext is Run with cancellation. The simulation executes under the
+// hardened harness: panics inside the simulator are recovered into a
+// *harness.SimError with a machine-state snapshot, a wedged machine is
+// aborted by the forward-progress watchdog, and truncated runs (cycle
+// budget, watchdog, timeout, cancellation) return errors instead of
+// silently reporting partial statistics.
+func RunContext(ctx context.Context, benchmark string, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w (benchmark %s)", err, benchmark)
+	}
 	w, err := workload.ByName(benchmark)
 	if err != nil {
 		return Result{}, err
@@ -192,13 +271,17 @@ func Run(benchmark string, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("cdf: %s/%s: %w", benchmark, opt.Mode, err)
 	}
-	c.Run()
-	st := c.Stats()
+	reason, err := harness.Exec(ctx, c, harness.Options{Timeout: opt.Timeout})
+	if err != nil {
+		return Result{}, fmt.Errorf("cdf: %s/%s: %w", benchmark, opt.Mode, err)
+	}
 	if c.Retired() < cfg.MaxRetired {
 		return Result{}, fmt.Errorf("cdf: %s/%s retired only %d/%d uops in %d cycles",
 			benchmark, opt.Mode, c.Retired(), cfg.MaxRetired, c.Cycles())
 	}
-	return buildResult(benchmark, opt.Mode, cfg, st), nil
+	res := buildResult(benchmark, opt.Mode, cfg, c.Stats())
+	res.StopReason = reason
+	return res, nil
 }
 
 func buildResult(benchmark string, mode Mode, cfg core.Config, st *stats.Stats) Result {
@@ -257,52 +340,129 @@ func energyParams(cfg core.Config) energy.Params {
 	return p
 }
 
+// RunError is one failed run inside a sweep.
+type RunError struct {
+	Benchmark string
+	Mode      Mode
+	Err       error
+}
+
+// Error implements error.
+func (e RunError) Error() string { return fmt.Sprintf("%s/%s: %v", e.Benchmark, e.Mode, e.Err) }
+
+// Unwrap exposes the underlying failure (e.g. a *harness.SimError).
+func (e RunError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the failed runs of a parallel sweep. Experiment
+// functions return it *alongside* their rows: benchmarks whose runs all
+// succeeded still produce rows (and geomeans fold only those), while the
+// failures — each typically a *harness.SimError with a machine-state
+// snapshot — are reported here so callers can render partial tables and
+// exit non-zero.
+type SweepError struct {
+	Failures []RunError
+}
+
+// Error summarizes the failures, one line each.
+func (e *SweepError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d simulation run(s) failed", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&sb, "\n  %s", f.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As, so callers can
+// probe for e.g. context.Canceled or *harness.SimError without walking
+// Failures by hand.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
+
+// merge folds o's failures into e, returning the combined error (either
+// receiver may be nil).
+func (e *SweepError) merge(o *SweepError) *SweepError {
+	switch {
+	case o == nil || len(o.Failures) == 0:
+		return e
+	case e == nil:
+		return o
+	}
+	e.Failures = append(e.Failures, o.Failures...)
+	return e
+}
+
+// orNil converts a possibly-nil *SweepError into a plain error without
+// the typed-nil-in-interface trap.
+func (e *SweepError) orNil() error {
+	if e == nil || len(e.Failures) == 0 {
+		return nil
+	}
+	sort.SliceStable(e.Failures, func(i, j int) bool {
+		if e.Failures[i].Benchmark != e.Failures[j].Benchmark {
+			return e.Failures[i].Benchmark < e.Failures[j].Benchmark
+		}
+		return e.Failures[i].Mode < e.Failures[j].Mode
+	})
+	return e
+}
+
 // runSet runs (benchmark, mode) pairs in parallel and collects results.
 type runKey struct {
 	bench string
 	mode  Mode
 }
 
-func runSet(benches []string, modes []Mode, opt Options) (map[runKey]Result, error) {
-	type job struct {
-		key runKey
-	}
-	jobs := make(chan job)
-	results := make(map[runKey]Result, len(benches)*len(modes))
-	var mu sync.Mutex
-	var firstErr error
-
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(benches)*len(modes) {
-		workers = len(benches) * len(modes)
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				o := opt
-				o.Mode = j.key.mode
-				res, err := Run(j.key.bench, o)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				results[j.key] = res
-				mu.Unlock()
-			}
-		}()
-	}
+// runSet runs every (benchmark, mode) pair on a bounded worker pool with
+// failure isolation: one wedged, panicking, or timed-out run is recorded
+// in the returned *SweepError while the rest of the sweep completes. The
+// results map holds only the runs that completed; callers must check
+// membership (haveAll) before folding a benchmark into a table.
+func runSet(ctx context.Context, benches []string, modes []Mode, opt Options, jobs int) (map[runKey]Result, *SweepError) {
+	keys := make([]runKey, 0, len(benches)*len(modes))
 	for _, b := range benches {
 		for _, m := range modes {
-			jobs <- job{key: runKey{bench: b, mode: m}}
+			keys = append(keys, runKey{bench: b, mode: m})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	results := make(map[runKey]Result, len(keys))
+	var mu sync.Mutex
+	errs := harness.Pool(ctx, jobs, len(keys), func(ctx context.Context, i int) error {
+		o := opt
+		o.Mode = keys[i].mode
+		res, err := RunContext(ctx, keys[i].bench, o)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[keys[i]] = res
+		mu.Unlock()
+		return nil
+	})
+	var sweep *SweepError
+	for i, err := range errs {
+		if err != nil {
+			if sweep == nil {
+				sweep = &SweepError{}
+			}
+			sweep.Failures = append(sweep.Failures, RunError{keys[i].bench, keys[i].mode, err})
+		}
 	}
-	return results, nil
+	return results, sweep
+}
+
+// haveAll reports whether every mode's result for bench completed, i.e.
+// the benchmark is eligible for a table row and the geomean.
+func haveAll(results map[runKey]Result, bench string, modes ...Mode) bool {
+	for _, m := range modes {
+		if _, ok := results[runKey{bench, m}]; !ok {
+			return false
+		}
+	}
+	return true
 }

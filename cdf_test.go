@@ -179,8 +179,9 @@ func TestWarmupOption(t *testing.T) {
 	if warm.IPC <= cold.IPC {
 		t.Fatalf("warmed IPC %.3f should beat cold-start IPC %.3f", warm.IPC, cold.IPC)
 	}
-	// Degenerate warmup >= max is ignored rather than deadlocking.
-	if _, err := Run("lbm", Options{Mode: ModeBaseline, MaxUops: 5_000, WarmupUops: 9_000}); err != nil {
-		t.Fatal(err)
+	// Degenerate warmup >= max is rejected up front — silently clamping
+	// it would measure an empty region and report garbage statistics.
+	if _, err := Run("lbm", Options{Mode: ModeBaseline, MaxUops: 5_000, WarmupUops: 9_000}); err == nil {
+		t.Fatal("warmup >= max should fail validation")
 	}
 }

@@ -7,15 +7,29 @@
 //	cdfexperiments                            # run everything
 //	cdfexperiments -exp fig13                 # one experiment
 //	cdfexperiments -uops 200000 -format md    # longer runs, Markdown output
+//	cdfexperiments -jobs 4                    # bound the worker pool
+//	cdfexperiments -timeout 2m -paranoid      # per-run wall-clock limit +
+//	                                          # periodic invariant checks
+//
+// Runs execute on a bounded worker pool (-jobs, default GOMAXPROCS) with
+// failure isolation: a benchmark that panics, deadlocks (watchdog), or
+// exceeds -timeout is dropped from its table and geomean, reported with a
+// machine-state snapshot at the end, and the process exits non-zero.
+// SIGINT cancels outstanding runs but still flushes the partial tables.
+// Output is deterministic and independent of -jobs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"cdf"
+	"cdf/internal/harness"
 	"cdf/internal/report"
 )
 
@@ -40,12 +54,15 @@ var experiments = []struct {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment name or 'all' (see -list)")
-		uops   = flag.Uint64("uops", 0, "instructions per run (0 = default)")
-		warmup = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
-		seed   = flag.Uint64("seed", 1, "wrong-path model seed")
-		format = flag.String("format", "text", "output format: text | markdown | csv")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment name or 'all' (see -list)")
+		uops     = flag.Uint64("uops", 0, "instructions per run (0 = default)")
+		warmup   = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
+		seed     = flag.Uint64("seed", 1, "wrong-path model seed")
+		format   = flag.String("format", "text", "output format: text | markdown | csv")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit per simulation run (0 = none)")
+		paranoid = flag.Bool("paranoid", false, "run invariant checks inside every simulation (~2x slower)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -56,25 +73,40 @@ func main() {
 		return
 	}
 
-	o := cdf.SuiteOptions{MaxUops: *uops, WarmupUops: *warmup, Seed: *seed}
-	ran := false
+	// SIGINT cancels the runs still outstanding; finished results are
+	// still rendered below, so a long sweep can be cut short usefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	o := cdf.SuiteOptions{
+		MaxUops:    *uops,
+		WarmupUops: *warmup,
+		Seed:       *seed,
+		Jobs:       *jobs,
+		Timeout:    *timeout,
+		Paranoid:   *paranoid,
+		Context:    ctx,
+	}
+	ran, failed := false, false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
 		ran = true
 		tables, err := e.run(o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
-			os.Exit(1)
-		}
+		// Partial tables are still worth printing: failed benchmarks are
+		// simply absent from them.
 		for _, t := range tables {
-			out, err := t.Render(*format)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
+			out, rerr := t.Render(*format)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "cdfexperiments:", rerr)
 				os.Exit(2)
 			}
 			fmt.Println(out)
+		}
+		if err != nil {
+			failed = true
+			reportFailure(e.name, err)
 		}
 	}
 	if !ran {
@@ -86,6 +118,36 @@ func main() {
 			*exp, strings.Join(names, "|"))
 		os.Exit(2)
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// reportFailure prints an experiment's failed runs to stderr, including
+// the machine-state snapshot when the failure carries one.
+func reportFailure(exp string, err error) {
+	var sweep *cdf.SweepError
+	if !errors.As(err, &sweep) {
+		fmt.Fprintf(os.Stderr, "cdfexperiments: %s: %v\n", exp, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cdfexperiments: %s: %d run(s) failed (excluded from the tables above)\n",
+		exp, len(sweep.Failures))
+	for _, f := range sweep.Failures {
+		fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", f.Benchmark, f.Mode, f.Err)
+		var sim *harness.SimError
+		if errors.As(f.Err, &sim) && sim.HasSnap {
+			fmt.Fprintln(os.Stderr, indent(sim.Snap.String(), "    "))
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
 }
 
 func runTable1(cdf.SuiteOptions) ([]*report.Table, error) {
@@ -102,9 +164,6 @@ func runTable1(cdf.SuiteOptions) ([]*report.Table, error) {
 
 func runFig1(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig1ROBOccupancy(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 1: ROB occupancy during full-window stalls (baseline)",
 		Note:    "paper: critical instructions are 10-40% of the dynamic footprint",
@@ -114,14 +173,11 @@ func runFig1(o cdf.SuiteOptions) ([]*report.Table, error) {
 		t.AddRow(r.Benchmark, report.Frac(r.CriticalFrac), report.Frac(r.NonCriticalFrac),
 			fmt.Sprintf("%d", r.StallCycles))
 	}
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runFig13(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig13Speedup(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 13: IPC improvement over baseline",
 		Note:    "paper geomeans: CDF +6.1%, PRE +2.6%",
@@ -132,14 +188,11 @@ func runFig13(o cdf.SuiteOptions) ([]*report.Table, error) {
 	}
 	cg, pg := cdf.Fig13Geomean(rows)
 	t.AddRow("geomean", report.Pct(cg), report.Pct(pg))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runFig14(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig14MLP(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 14: MLP relative to baseline",
 		Note:    "paper: PRE's MLP gains include wrong-path loads that do not convert to speedup",
@@ -148,14 +201,11 @@ func runFig14(o cdf.SuiteOptions) ([]*report.Table, error) {
 	for _, r := range rows {
 		t.AddRow(r.Benchmark, report.Rel(r.CDFMLPRel), report.Rel(r.PREMLPRel))
 	}
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runFig15(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig15Traffic(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 15: memory traffic relative to baseline",
 		Note:    "paper: CDF generates ~4% less extra traffic than PRE",
@@ -168,14 +218,11 @@ func runFig15(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ps = append(ps, r.PRETrafficRel)
 	}
 	t.AddRow("geomean", report.Rel(cdf.Geomean(cs)), report.Rel(cdf.Geomean(ps)))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runFig16(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig16Energy(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 16: energy relative to baseline",
 		Note:    "paper geomeans: CDF 0.965x, PRE 1.037x",
@@ -188,14 +235,11 @@ func runFig16(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ps = append(ps, r.PREEnergyRel)
 	}
 	t.AddRow("geomean", report.Rel(cdf.Geomean(cs)), report.Rel(cdf.Geomean(ps)))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runFig17(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.Fig17Scaling(o, nil)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Fig. 17: window scaling (relative to the 352-entry baseline)",
 		Note:    "paper: an area-matched scaled baseline gains only 3.7% IPC and 2.5% energy",
@@ -206,14 +250,11 @@ func runFig17(o cdf.SuiteOptions) ([]*report.Table, error) {
 			report.Rel(r.BaselineIPCRel), report.Rel(r.CDFIPCRel),
 			report.Rel(r.BaselineEnergyRel), report.Rel(r.CDFEnergyRel))
 	}
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runAblation(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.AblationNoCriticalBranches(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "§4.2 ablation: no critical-branch marking",
 		Note:    "paper: geomean falls from +6.1% to +3.8%",
@@ -226,14 +267,11 @@ func runAblation(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ns = append(ns, r.NoCritBranchSpeedup)
 	}
 	t.AddRow("geomean", report.Pct(cdf.Geomean(fs)), report.Pct(cdf.Geomean(ns)))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runHybrid(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.HybridComparison(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "§6 extension: CDF + Runahead hybrid",
 		Note:    "the hybrid should capture the better of CDF/PRE per benchmark",
@@ -247,14 +285,11 @@ func runHybrid(o cdf.SuiteOptions) ([]*report.Table, error) {
 		hs = append(hs, r.HybridSpeedup)
 	}
 	t.AddRow("geomean", report.Pct(cdf.Geomean(cs)), report.Pct(cdf.Geomean(ps)), report.Pct(cdf.Geomean(hs)))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runPartition(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.AblationStaticPartition(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "§3.5 ablation: dynamic vs static partitioning",
 		Note:    "paper: dynamic partitioning significantly improves CDF",
@@ -267,14 +302,11 @@ func runPartition(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ss = append(ss, r.StaticSpeedup)
 	}
 	t.AddRow("geomean", report.Pct(cdf.Geomean(ds)), report.Pct(cdf.Geomean(ss)))
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runMaskCache(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.AblationNoMaskCache(o)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "§3.6 ablation: Mask Cache vs per-walk masks",
 		Note:    "paper: the Mask Cache keeps register dependence violations rare",
@@ -284,14 +316,11 @@ func runMaskCache(o cdf.SuiteOptions) ([]*report.Table, error) {
 		t.AddRow(r.Benchmark, report.Pct(r.Speedup), report.Pct(r.NoMaskSpeedup),
 			fmt.Sprintf("%d", r.Violations), fmt.Sprintf("%d", r.NoMaskViolations))
 	}
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }
 
 func runCUCSweep(o cdf.SuiteOptions) ([]*report.Table, error) {
 	rows, err := cdf.SweepCUCSize(o, nil)
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{
 		Title:   "Critical Uop Cache capacity sensitivity",
 		Note:    "Table 1 sizes the CUC at 18KB",
@@ -300,5 +329,5 @@ func runCUCSweep(o cdf.SuiteOptions) ([]*report.Table, error) {
 	for _, r := range rows {
 		t.AddRow(fmt.Sprintf("%d", r.CUCKB), report.Pct(r.CDFSpeedup))
 	}
-	return []*report.Table{t}, nil
+	return []*report.Table{t}, err
 }

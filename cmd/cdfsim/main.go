@@ -4,17 +4,24 @@
 // Usage:
 //
 //	cdfsim -bench astar -mode cdf -uops 200000
+//	cdfsim -bench mcf -timeout 2m -paranoid
 //	cdfsim -list
 //	cdfsim -print-config
+//
+// A run that fails — panic, watchdog-detected deadlock, or -timeout — exits
+// non-zero and prints the machine-state snapshot captured at the failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"cdf"
 	"cdf/internal/core"
+	"cdf/internal/harness"
 	"cdf/internal/workload"
 )
 
@@ -30,6 +37,9 @@ func main() {
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		prtCfg = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
 		traceN = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
+
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
+		paranoid = flag.Bool("paranoid", false, "run invariant checks during the simulation (~2x slower)")
 	)
 	flag.Parse()
 
@@ -44,7 +54,14 @@ func main() {
 		return
 	}
 
-	opt := cdf.Options{MaxUops: *uops, WarmupUops: *warmup, ROBSize: *rob, Seed: *seed}
+	opt := cdf.Options{
+		MaxUops:    *uops,
+		WarmupUops: *warmup,
+		ROBSize:    *rob,
+		Seed:       *seed,
+		Timeout:    *timeout,
+		Paranoid:   *paranoid,
+	}
 	switch *mode {
 	case "baseline":
 		opt.Mode = cdf.ModeBaseline
@@ -71,10 +88,15 @@ func main() {
 	res, err := cdf.Run(*bench, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		var sim *harness.SimError
+		if errors.As(err, &sim) && sim.HasSnap {
+			fmt.Fprintln(os.Stderr, sim.Snap.String())
+		}
 		os.Exit(1)
 	}
 
 	fmt.Printf("benchmark   %s (%s)\n", res.Benchmark, *mode)
+	fmt.Printf("stop reason %s\n", res.StopReason)
 	fmt.Printf("cycles      %d\n", res.Cycles)
 	fmt.Printf("uops        %d\n", res.Uops)
 	fmt.Printf("ipc         %.4f\n", res.IPC)
@@ -117,5 +139,12 @@ func runTraced(bench string, opt cdf.Options, n int) {
 	}
 	tr := &core.TextTracer{W: os.Stdout, MaxEvents: n}
 	c.SetTracer(tr)
-	c.Run()
+	if _, err := harness.Exec(context.Background(), c, harness.Options{Timeout: opt.Timeout}); err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		var sim *harness.SimError
+		if errors.As(err, &sim) && sim.HasSnap {
+			fmt.Fprintln(os.Stderr, sim.Snap.String())
+		}
+		os.Exit(1)
+	}
 }

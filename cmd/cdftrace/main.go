@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"cdf/internal/core"
 	"cdf/internal/emu"
+	"cdf/internal/harness"
 	"cdf/internal/workload"
 )
 
@@ -52,7 +55,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cdftrace:", err)
 		os.Exit(1)
 	}
-	c.Run()
+	// The training run goes through the hardened harness: a wedged or
+	// panicking core becomes a diagnosable error instead of a hang/crash.
+	if _, err := harness.Exec(context.Background(), c, harness.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "cdftrace: training run failed:", err)
+		var sim *harness.SimError
+		if errors.As(err, &sim) && sim.HasSnap {
+			fmt.Fprintln(os.Stderr, sim.Snap.String())
+		}
+		os.Exit(1)
+	}
 	cuc := c.UopCache()
 
 	// Fresh functional emulation for the dynamic dump.

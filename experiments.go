@@ -1,15 +1,24 @@
 package cdf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"cdf/internal/core"
 )
 
 // SuiteOptions configures a whole-suite experiment.
+//
+// Suite experiments are failure-isolated: a benchmark whose run fails
+// (panic, watchdog abort, timeout) is dropped from the returned rows and
+// geomeans, and the failure is reported through the returned error (a
+// *SweepError aggregating every failed run). Rows are therefore usable
+// even when err != nil — callers that want all-or-nothing semantics
+// should treat a non-nil error as fatal.
 type SuiteOptions struct {
 	// Benchmarks restricts the suite (nil = all kernels).
 	Benchmarks []string
@@ -19,6 +28,22 @@ type SuiteOptions struct {
 	WarmupUops uint64
 	// Seed for the deterministic wrong-path models.
 	Seed uint64
+
+	// Jobs bounds the worker pool running suite benchmarks in parallel
+	// (0 = GOMAXPROCS). Results are deterministic regardless of Jobs:
+	// each run is independently deterministic and rows keep suite order.
+	Jobs int
+	// Timeout bounds each individual run's wall-clock time (0 = none).
+	// A timed-out run fails with a *harness.SimError carrying a
+	// machine-state snapshot; the rest of the sweep continues.
+	Timeout time.Duration
+	// Paranoid runs core.CheckInvariants periodically inside every run
+	// (~2x wall-clock).
+	Paranoid bool
+	// Context cancels the sweep (nil = context.Background). Runs already
+	// finished when the context fires are kept, so partial tables can
+	// still be rendered after e.g. a SIGINT.
+	Context context.Context
 }
 
 func (o SuiteOptions) benches() []string {
@@ -32,8 +57,21 @@ func (o SuiteOptions) benches() []string {
 	return names
 }
 
+func (o SuiteOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 func (o SuiteOptions) runOptions() Options {
-	return Options{MaxUops: o.MaxUops, WarmupUops: o.WarmupUops, Seed: o.Seed}
+	return Options{
+		MaxUops:    o.MaxUops,
+		WarmupUops: o.WarmupUops,
+		Seed:       o.Seed,
+		Timeout:    o.Timeout,
+		Paranoid:   o.Paranoid,
+	}
 }
 
 // Geomean returns the geometric mean of vs (which must be positive).
@@ -94,12 +132,12 @@ func Fig1ROBOccupancy(o SuiteOptions) ([]Fig1Row, error) {
 	benches := o.benches()
 	opt := o.runOptions()
 	opt.TrainCriticality = true
-	results, err := runSet(benches, []Mode{ModeBaseline}, opt)
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, opt, o.Jobs)
 	rows := make([]Fig1Row, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline) {
+			continue
+		}
 		r := results[runKey{b, ModeBaseline}]
 		rows = append(rows, Fig1Row{
 			Benchmark:       b,
@@ -108,7 +146,7 @@ func Fig1ROBOccupancy(o SuiteOptions) ([]Fig1Row, error) {
 			StallCycles:     r.FullWindowStallCycles,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // --- Fig. 13 ---
@@ -126,12 +164,12 @@ type Fig13Row struct {
 // bars.
 func Fig13Speedup(o SuiteOptions) ([]Fig13Row, error) {
 	benches := o.benches()
-	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
 	rows := make([]Fig13Row, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
+			continue
+		}
 		base := results[runKey{b, ModeBaseline}]
 		rows = append(rows, Fig13Row{
 			Benchmark:  b,
@@ -139,7 +177,7 @@ func Fig13Speedup(o SuiteOptions) ([]Fig13Row, error) {
 			PRESpeedup: results[runKey{b, ModePRE}].IPC / base.IPC,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // Fig13Geomean returns the suite geomean speedups (the paper's headline:
@@ -167,12 +205,12 @@ type Fig14Row struct {
 // wrong-path loads that do not convert to speedup, while CDF's convert.
 func Fig14MLP(o SuiteOptions) ([]Fig14Row, error) {
 	benches := o.benches()
-	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
 	rows := make([]Fig14Row, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
+			continue
+		}
 		base := results[runKey{b, ModeBaseline}]
 		if base.MLP == 0 {
 			rows = append(rows, Fig14Row{Benchmark: b, CDFMLPRel: 1, PREMLPRel: 1})
@@ -184,7 +222,7 @@ func Fig14MLP(o SuiteOptions) ([]Fig14Row, error) {
 			PREMLPRel: results[runKey{b, ModePRE}].MLP / base.MLP,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // --- Fig. 15 ---
@@ -201,12 +239,12 @@ type Fig15Row struct {
 // (the paper reports CDF generating 4% less extra traffic than PRE).
 func Fig15Traffic(o SuiteOptions) ([]Fig15Row, error) {
 	benches := o.benches()
-	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
 	rows := make([]Fig15Row, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
+			continue
+		}
 		base := float64(results[runKey{b, ModeBaseline}].MemTraffic)
 		if base == 0 {
 			base = 1
@@ -217,7 +255,7 @@ func Fig15Traffic(o SuiteOptions) ([]Fig15Row, error) {
 			PRETrafficRel: float64(results[runKey{b, ModePRE}].MemTraffic) / base,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // --- Fig. 16 ---
@@ -233,12 +271,12 @@ type Fig16Row struct {
 // baseline (the paper: CDF −3.5%, PRE +3.7%).
 func Fig16Energy(o SuiteOptions) ([]Fig16Row, error) {
 	benches := o.benches()
-	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
 	rows := make([]Fig16Row, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
+			continue
+		}
 		base := results[runKey{b, ModeBaseline}].EnergyPJ
 		rows = append(rows, Fig16Row{
 			Benchmark:    b,
@@ -246,7 +284,7 @@ func Fig16Energy(o SuiteOptions) ([]Fig16Row, error) {
 			PREEnergyRel: results[runKey{b, ModePRE}].EnergyPJ / base,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // --- Fig. 17 ---
@@ -276,21 +314,19 @@ func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
 
 	// Reference: Table 1 baseline.
 	refOpt := o.runOptions()
-	ref, err := runSet(benches, []Mode{ModeBaseline}, refOpt)
-	if err != nil {
-		return nil, err
-	}
+	ref, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, refOpt, o.Jobs)
 
 	var rows []Fig17Row
 	for _, rob := range robSizes {
 		opt := o.runOptions()
 		opt.ROBSize = rob
-		results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, opt)
-		if err != nil {
-			return nil, err
-		}
+		results, s := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, opt, o.Jobs)
+		sweep = sweep.merge(s)
 		var bIPC, cIPC, bEn, cEn []float64
 		for _, b := range benches {
+			if !haveAll(ref, b, ModeBaseline) || !haveAll(results, b, ModeBaseline, ModeCDF) {
+				continue
+			}
 			r0 := ref[runKey{b, ModeBaseline}]
 			rb := results[runKey{b, ModeBaseline}]
 			rc := results[runKey{b, ModeCDF}]
@@ -298,6 +334,9 @@ func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
 			cIPC = append(cIPC, rc.IPC/r0.IPC)
 			bEn = append(bEn, rb.EnergyPJ/r0.EnergyPJ)
 			cEn = append(cEn, rc.EnergyPJ/r0.EnergyPJ)
+		}
+		if len(bIPC) == 0 {
+			continue
 		}
 		rows = append(rows, Fig17Row{
 			ROBSize:           rob,
@@ -308,7 +347,7 @@ func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ROBSize < rows[j].ROBSize })
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // --- §4.2 ablation ---
@@ -326,19 +365,17 @@ type AblationRow struct {
 // the paper), with astar/bzip/mcf/soplex affected most.
 func AblationNoCriticalBranches(o SuiteOptions) ([]AblationRow, error) {
 	benches := o.benches()
-	base, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
 	off := false
 	noBr := o.runOptions()
 	noBr.MarkCriticalBranches = &off
-	noBrRes, err := runSet(benches, []Mode{ModeCDF}, noBr)
-	if err != nil {
-		return nil, err
-	}
+	noBrRes, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, noBr, o.Jobs)
+	sweep = sweep.merge(s)
 	rows := make([]AblationRow, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(base, b, ModeBaseline, ModeCDF) || !haveAll(noBrRes, b, ModeCDF) {
+			continue
+		}
 		b0 := base[runKey{b, ModeBaseline}]
 		rows = append(rows, AblationRow{
 			Benchmark:           b,
@@ -346,5 +383,5 @@ func AblationNoCriticalBranches(o SuiteOptions) ([]AblationRow, error) {
 			NoCritBranchSpeedup: noBrRes[runKey{b, ModeCDF}].IPC / b0.IPC,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }

@@ -25,12 +25,12 @@ type HybridRow struct {
 // PRE's dense stencils).
 func HybridComparison(o SuiteOptions) ([]HybridRow, error) {
 	benches := o.benches()
-	results, err := runSet(benches, []Mode{ModeBaseline, ModeCDF, ModePRE, ModeHybrid}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE, ModeHybrid}, o.runOptions(), o.Jobs)
 	rows := make([]HybridRow, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE, ModeHybrid) {
+			continue
+		}
 		base := results[runKey{b, ModeBaseline}].IPC
 		rows = append(rows, HybridRow{
 			Benchmark:     b,
@@ -39,7 +39,7 @@ func HybridComparison(o SuiteOptions) ([]HybridRow, error) {
 			HybridSpeedup: results[runKey{b, ModeHybrid}].IPC / base,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // PartitionAblationRow compares dynamic against frozen partitions.
@@ -53,18 +53,16 @@ type PartitionAblationRow struct {
 // 3/4 skew and compares against the adaptive controller (§3.5).
 func AblationStaticPartition(o SuiteOptions) ([]PartitionAblationRow, error) {
 	benches := o.benches()
-	dyn, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	dyn, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
 	opt := o.runOptions()
 	opt.StaticPartition = true
-	static, err := runSet(benches, []Mode{ModeCDF}, opt)
-	if err != nil {
-		return nil, err
-	}
+	static, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+	sweep = sweep.merge(s)
 	rows := make([]PartitionAblationRow, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(dyn, b, ModeBaseline, ModeCDF) || !haveAll(static, b, ModeCDF) {
+			continue
+		}
 		base := dyn[runKey{b, ModeBaseline}].IPC
 		rows = append(rows, PartitionAblationRow{
 			Benchmark:      b,
@@ -72,7 +70,7 @@ func AblationStaticPartition(o SuiteOptions) ([]PartitionAblationRow, error) {
 			StaticSpeedup:  static[runKey{b, ModeCDF}].IPC / base,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // MaskAblationRow compares CDF with and without the Mask Cache.
@@ -88,18 +86,16 @@ type MaskAblationRow struct {
 // more register dependence violations (and the flushes they cost).
 func AblationNoMaskCache(o SuiteOptions) ([]MaskAblationRow, error) {
 	benches := o.benches()
-	with, err := runSet(benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	with, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
 	opt := o.runOptions()
 	opt.NoMaskCache = true
-	without, err := runSet(benches, []Mode{ModeCDF}, opt)
-	if err != nil {
-		return nil, err
-	}
+	without, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+	sweep = sweep.merge(s)
 	rows := make([]MaskAblationRow, 0, len(benches))
 	for _, b := range benches {
+		if !haveAll(with, b, ModeBaseline, ModeCDF) || !haveAll(without, b, ModeCDF) {
+			continue
+		}
 		base := with[runKey{b, ModeBaseline}].IPC
 		rows = append(rows, MaskAblationRow{
 			Benchmark:        b,
@@ -109,7 +105,7 @@ func AblationNoMaskCache(o SuiteOptions) ([]MaskAblationRow, error) {
 			NoMaskViolations: without[runKey{b, ModeCDF}].DependenceViolations,
 		})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }
 
 // CUCSweepRow is one Critical Uop Cache capacity point.
@@ -128,23 +124,24 @@ func SweepCUCSize(o SuiteOptions, sizesKB []int) ([]CUCSweepRow, error) {
 		sizesKB = DefaultCUCSweepKB
 	}
 	benches := o.benches()
-	base, err := runSet(benches, []Mode{ModeBaseline}, o.runOptions())
-	if err != nil {
-		return nil, err
-	}
+	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, o.runOptions(), o.Jobs)
 	var rows []CUCSweepRow
 	for _, kb := range sizesKB {
 		opt := o.runOptions()
 		opt.CUCKB = kb
-		res, err := runSet(benches, []Mode{ModeCDF}, opt)
-		if err != nil {
-			return nil, err
-		}
+		res, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+		sweep = sweep.merge(s)
 		var sp []float64
 		for _, b := range benches {
+			if !haveAll(base, b, ModeBaseline) || !haveAll(res, b, ModeCDF) {
+				continue
+			}
 			sp = append(sp, res[runKey{b, ModeCDF}].IPC/base[runKey{b, ModeBaseline}].IPC)
+		}
+		if len(sp) == 0 {
+			continue
 		}
 		rows = append(rows, CUCSweepRow{CUCKB: kb, CDFSpeedup: Geomean(sp)})
 	}
-	return rows, nil
+	return rows, sweep.orNil()
 }

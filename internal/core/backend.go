@@ -565,11 +565,14 @@ func (c *Core) complete() {
 // --- retire (§3.5 "In-Order Retirement") ---
 
 func (c *Core) retire() {
+	if c.debugBlockRetire != nil && c.debugBlockRetire() {
+		return
+	}
 	for n := 0; n < c.cfg.Width; n++ {
 		e := c.oldestROBHead()
 		if e == nil {
 			if c.strm.Halted() && c.pipelineEmpty() {
-				c.finished = true
+				c.finish(StopCompleted)
 			}
 			return
 		}
@@ -661,7 +664,7 @@ func (c *Core) retireEntry(e *entry) {
 	c.trainCriticality(e)
 
 	if e.dyn.Last {
-		c.finished = true
+		c.finish(StopCompleted)
 	}
 }
 

@@ -97,6 +97,19 @@ type Config struct {
 	// methodology. MaxRetired counts from the start, so the measured
 	// region is MaxRetired - WarmupRetired uops.
 	WarmupRetired uint64
+
+	// WatchdogCycles is the forward-progress watchdog: when no uop has
+	// retired for this many cycles and the stall is not a legitimate
+	// full-window memory stall (ROB head load still outstanding in the
+	// hierarchy), the run aborts with StopWatchdog instead of spinning to
+	// MaxCycles. 0 disables the watchdog.
+	WatchdogCycles uint64
+
+	// ParanoidEvery runs CheckInvariants every N cycles during the run
+	// and panics (errInternal) on a violation, so corruption is caught at
+	// the cycle it happens rather than cycles later as a wedge or a bad
+	// statistic. It is O(window) per check; 0 disables (the default).
+	ParanoidEvery uint64
 }
 
 // Default returns the paper's Table 1 machine: 3.2 GHz 6-wide core with a
@@ -123,6 +136,11 @@ func Default() Config {
 		TrainCriticality:  false,
 		WrongPathLoadFrac: 0.25,
 		Seed:              1,
+
+		// Two orders of magnitude beyond the worst legitimate retire gap
+		// (a DRAM round trip is a few hundred cycles), yet fires ~100x
+		// sooner than the MaxCycles backstop at the default run length.
+		WatchdogCycles: 100_000,
 	}
 	cfg.Ports[isa.PortALU] = 4
 	cfg.Ports[isa.PortMul] = 1

@@ -114,11 +114,18 @@ type Core struct {
 
 	// Debug hooks (tests only).
 	debugViol        func(e *entry, reg int)
+	debugBlockRetire func() bool // when set and true, retire stalls (watchdog tests)
 	lastPoisonWriter [32]string
 
-	now      uint64
-	retired  uint64
-	finished bool
+	// Forward-progress watchdog anchor: retired count and cycle of the
+	// last observed retirement.
+	wdRetired uint64
+	wdCycle   uint64
+
+	now        uint64
+	retired    uint64
+	finished   bool
+	stopReason StopReason
 }
 
 // New builds a core executing p with memory state m.
@@ -246,12 +253,51 @@ func (c *Core) Cycle() {
 	c.endOfCycle()
 	c.now++
 
-	if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
-		c.finished = true
-	}
 	if c.cfg.MaxRetired > 0 && c.retired >= c.cfg.MaxRetired {
-		c.finished = true
+		c.finish(StopCompleted)
 	}
+	if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+		c.finish(StopCycleBudget)
+	}
+	c.watchdog()
+	if c.cfg.ParanoidEvery > 0 && c.now%c.cfg.ParanoidEvery == 0 {
+		if err := c.CheckInvariants(); err != nil {
+			panic(errInternal("paranoid invariant check failed at cycle %d: %v", c.now, err))
+		}
+	}
+}
+
+// finish marks the run done with reason r; the first reason wins.
+func (c *Core) finish(r StopReason) {
+	if !c.finished {
+		c.finished = true
+		c.stopReason = r
+	}
+}
+
+// watchdog aborts the run when retirement has made no progress for
+// Config.WatchdogCycles cycles — unless the machine is in a legitimate
+// full-window memory stall, i.e. the program-order-oldest uop is a load
+// still outstanding in the hierarchy with a completion cycle ahead of us.
+// A true deadlock (nothing in flight will ever complete) fails that test
+// and stops immediately with StopWatchdog instead of spinning to
+// MaxCycles and reporting truncated statistics as if they were real.
+func (c *Core) watchdog() {
+	if c.cfg.WatchdogCycles == 0 || c.finished {
+		return
+	}
+	if c.retired != c.wdRetired {
+		c.wdRetired, c.wdCycle = c.retired, c.now
+		return
+	}
+	if c.now-c.wdCycle < c.cfg.WatchdogCycles {
+		return
+	}
+	if h := c.oldestROBHead(); h != nil && h.op.IsLoad() &&
+		h.state == stateExecuting && h.doneAt > c.now {
+		return // slow, not wedged: the head load has a future completion
+	}
+	c.finish(StopWatchdog)
 }
 
 // endOfCycle gathers per-cycle statistics and runs the slow controllers.

@@ -152,6 +152,37 @@ func TestFuzzRandomPrograms(t *testing.T) {
 	}
 }
 
+// FuzzCore is the native fuzzing entry (`go test -fuzz FuzzCore`): the
+// inputs drive the random program generator and the machine mode, and the
+// oracle is full completion under the forward-progress watchdog with
+// paranoid invariant checks on. The Makefile's fuzz-smoke target runs it
+// briefly on every CI pass.
+func FuzzCore(f *testing.F) {
+	f.Add(uint64(1), byte(0))
+	f.Add(uint64(2), byte(1))
+	f.Add(uint64(3), byte(2))
+	f.Add(uint64(5), byte(3))
+	f.Fuzz(func(t *testing.T, seed uint64, modeByte byte) {
+		mode := Mode(modeByte % 4)
+		p, m := genProgram(seed)
+		cfg := Default()
+		cfg.Mode = mode
+		cfg.MaxRetired = 3_000
+		cfg.MaxCycles = 1_500_000
+		cfg.WatchdogCycles = 20_000
+		cfg.ParanoidEvery = 97
+		c, err := New(cfg, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		if c.StopReason() != StopCompleted {
+			t.Fatalf("seed %d mode %s stopped with %s:\n%s",
+				seed, mode, c.StopReason(), c.Snapshot())
+		}
+	})
+}
+
 // TestFuzzProgramsEmulateCleanly double-checks the generator's programs are
 // functionally well-formed (the emulator is the ground truth).
 func TestFuzzProgramsEmulateCleanly(t *testing.T) {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// wedgedCore builds a core running a fuzz-generated kernel and blocks its
+// retire stage after warmCycles — an injected never-retiring head, the
+// white-box equivalent of a backend deadlock.
+func wedgedCore(t *testing.T, warmCycles int, cfg Config) *Core {
+	t.Helper()
+	p, m := genProgram(1)
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warmCycles && !c.finished; i++ {
+		c.Cycle()
+	}
+	c.debugBlockRetire = func() bool { return true }
+	return c
+}
+
+func TestWatchdogTripsOnWedgedCore(t *testing.T) {
+	cfg := Default()
+	cfg.MaxRetired = 1_000_000
+	cfg.MaxCycles = 100_000_000
+	cfg.WatchdogCycles = 3_000
+	c := wedgedCore(t, 2_000, cfg)
+
+	c.Run()
+	if got := c.StopReason(); got != StopWatchdog {
+		t.Fatalf("stop reason = %s, want watchdog", got)
+	}
+	if !c.StopReason().Truncated() {
+		t.Fatal("watchdog stop must count as truncated")
+	}
+	// The abort must be prompt: within the wedge point plus the watchdog
+	// threshold plus one in-flight memory round trip — not MaxCycles.
+	if c.Cycles() > 20_000 {
+		t.Fatalf("watchdog fired only at cycle %d; should abort promptly", c.Cycles())
+	}
+
+	snap := c.Snapshot()
+	if snap.Cycle == 0 || snap.StopReason != StopWatchdog {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+	// A wedged backend has a full (or filling) window and a live head uop.
+	if snap.ROBCrit+snap.ROBNon == 0 {
+		t.Fatal("snapshot shows an empty ROB on a wedged core")
+	}
+	if !snap.Head.Valid || snap.Head.Op == "" || snap.Head.State == "" {
+		t.Fatalf("snapshot head not captured: %+v", snap.Head)
+	}
+	s := snap.String()
+	for _, want := range []string{"watchdog", "ROB", "head", "fetch seq"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("snapshot rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWatchdogSparesHealthyRuns(t *testing.T) {
+	p, m := genProgram(2)
+	cfg := Default()
+	cfg.Mode = ModeCDF
+	cfg.MaxRetired = 20_000
+	cfg.MaxCycles = 10_000_000
+	cfg.WatchdogCycles = 2_000 // tight: well under the run, above any real stall
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if got := c.StopReason(); got != StopCompleted {
+		t.Fatalf("stop reason = %s, want completed\n%s", got, c.Snapshot())
+	}
+	if c.Retired() < cfg.MaxRetired {
+		t.Fatalf("retired %d/%d", c.Retired(), cfg.MaxRetired)
+	}
+}
+
+func TestStopReasonCycleBudget(t *testing.T) {
+	p, m := genProgram(3)
+	cfg := Default()
+	cfg.MaxRetired = 1_000_000
+	cfg.MaxCycles = 500
+	cfg.WatchdogCycles = 0
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	got := c.StopReason()
+	if got != StopCycleBudget {
+		t.Fatalf("stop reason = %s, want cycle-budget", got)
+	}
+	if !got.Truncated() {
+		t.Fatal("cycle-budget stop must count as truncated")
+	}
+}
+
+func TestStopReasonCompletedAtBudget(t *testing.T) {
+	p, m := genProgram(4)
+	cfg := Default()
+	cfg.MaxRetired = 5_000
+	cfg.MaxCycles = 10_000_000
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if got := c.StopReason(); got != StopCompleted {
+		t.Fatalf("stop reason = %s, want completed", got)
+	}
+	if got := c.StopReason(); got.Truncated() {
+		t.Fatal("completed stop must not count as truncated")
+	}
+}
+
+func TestParanoidModeCleanRun(t *testing.T) {
+	p, m := genProgram(5)
+	cfg := Default()
+	cfg.Mode = ModeCDF
+	cfg.MaxRetired = 8_000
+	cfg.MaxCycles = 4_000_000
+	cfg.ParanoidEvery = 101
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run() // must not panic
+	if c.StopReason() != StopCompleted {
+		t.Fatalf("paranoid run stopped with %s", c.StopReason())
+	}
+}
+
+func TestParanoidModeDetectsCorruption(t *testing.T) {
+	p, m := genProgram(6)
+	cfg := Default()
+	cfg.MaxRetired = 1_000_000
+	cfg.ParanoidEvery = 50
+	c, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		c.Cycle()
+	}
+	c.lqCrit++ // inject a counter corruption the invariants must catch
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("paranoid mode did not catch injected corruption")
+		}
+		if !strings.Contains(strings.ToLower(
+			strings.TrimSpace(toString(r))), "paranoid") {
+			t.Fatalf("panic lacks paranoid context: %v", r)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c.Cycle()
+	}
+}
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdf/internal/core"
+)
+
+// stubSim is a scriptable Sim: it finishes after finishAt cycles with
+// reason, optionally panicking first or never finishing at all.
+type stubSim struct {
+	cycles   uint64
+	finishAt uint64
+	reason   core.StopReason
+	panicAt  uint64 // panic once cycles reaches this (0 = never)
+	block    bool   // never finish (hung machine)
+}
+
+func (s *stubSim) Cycle() {
+	s.cycles++
+	if s.panicAt > 0 && s.cycles >= s.panicAt {
+		panic(fmt.Errorf("core internal: injected failure at cycle %d", s.cycles))
+	}
+}
+
+func (s *stubSim) Finished() bool {
+	return !s.block && s.cycles >= s.finishAt
+}
+
+func (s *stubSim) StopReason() core.StopReason {
+	if s.Finished() {
+		return s.reason
+	}
+	return core.StopNone
+}
+
+func (s *stubSim) Snapshot() core.Snapshot {
+	return core.Snapshot{Cycle: s.cycles, Retired: s.cycles / 2, StopReason: s.StopReason()}
+}
+
+func TestExecCompletes(t *testing.T) {
+	sim := &stubSim{finishAt: 10_000, reason: core.StopCompleted}
+	reason, err := Exec(context.Background(), sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != core.StopCompleted {
+		t.Fatalf("reason = %s, want completed", reason)
+	}
+}
+
+func TestExecRecoversPanic(t *testing.T) {
+	sim := &stubSim{finishAt: 10_000, panicAt: 137, reason: core.StopCompleted}
+	_, err := Exec(context.Background(), sim, Options{})
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SimError", err)
+	}
+	if se.Reason != ReasonPanic {
+		t.Fatalf("reason = %q, want panic", se.Reason)
+	}
+	if se.PanicValue == nil || len(se.Stack) == 0 {
+		t.Fatal("panic value / stack missing")
+	}
+	if !se.HasSnap || se.Snap.Cycle != 137 {
+		t.Fatalf("snapshot missing or wrong: %+v", se.Snap)
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("error loses panic context: %v", err)
+	}
+	// The original errInternal error is reachable through Unwrap.
+	if se.Unwrap() == nil {
+		t.Fatal("panic error value should unwrap")
+	}
+}
+
+func TestExecClassifiesWatchdog(t *testing.T) {
+	sim := &stubSim{finishAt: 64, reason: core.StopWatchdog}
+	reason, err := Exec(context.Background(), sim, Options{})
+	if reason != core.StopWatchdog {
+		t.Fatalf("reason = %s, want watchdog", reason)
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Reason != ReasonWatchdog || !se.HasSnap {
+		t.Fatalf("want watchdog SimError with snapshot, got %v", err)
+	}
+}
+
+func TestExecClassifiesCycleBudget(t *testing.T) {
+	sim := &stubSim{finishAt: 64, reason: core.StopCycleBudget}
+	reason, err := Exec(context.Background(), sim, Options{})
+	if reason != core.StopCycleBudget {
+		t.Fatalf("reason = %s, want cycle-budget", reason)
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Reason != ReasonCycleBudget {
+		t.Fatalf("want cycle-budget SimError, got %v", err)
+	}
+}
+
+func TestExecTimeout(t *testing.T) {
+	sim := &stubSim{block: true}
+	start := time.Now()
+	_, err := Exec(context.Background(), sim, Options{Timeout: 30 * time.Millisecond})
+	var se *SimError
+	if !errors.As(err, &se) || se.Reason != ReasonTimeout {
+		t.Fatalf("want timeout SimError, got %v", err)
+	}
+	if !se.HasSnap || se.Snap.Cycle == 0 {
+		t.Fatalf("timeout should carry a snapshot, got %+v", se.Snap)
+	}
+	if elapsed := time.Since(start); elapsed > graceWait {
+		t.Fatalf("timeout took %v; cooperative stop not working", elapsed)
+	}
+}
+
+func TestExecCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sim := &stubSim{block: true}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Exec(ctx, sim, Options{})
+	var se *SimError
+	if !errors.As(err, &se) || se.Reason != ReasonCanceled {
+		t.Fatalf("want canceled SimError, got %v", err)
+	}
+}
+
+func TestPoolRunsAllAndIsolatesFailures(t *testing.T) {
+	const n = 50
+	var ran atomic.Int64
+	errs := Pool(context.Background(), 4, n, func(_ context.Context, i int) error {
+		ran.Add(1)
+		switch {
+		case i == 7:
+			return fmt.Errorf("job %d failed", i)
+		case i == 13:
+			panic("job 13 exploded")
+		}
+		return nil
+	})
+	if ran.Load() != n {
+		t.Fatalf("ran %d/%d jobs", ran.Load(), n)
+	}
+	for i, err := range errs {
+		switch i {
+		case 7:
+			if err == nil || !strings.Contains(err.Error(), "job 7 failed") {
+				t.Fatalf("job 7: %v", err)
+			}
+		case 13:
+			var se *SimError
+			if !errors.As(err, &se) || se.Reason != ReasonPanic {
+				t.Fatalf("job 13 panic not converted: %v", err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("job %d: unexpected error %v", i, err)
+			}
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	Pool(context.Background(), workers, 24, func(context.Context, int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d > %d workers", p, workers)
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	errs := Pool(ctx, 2, 40, func(context.Context, int) error {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	canceled := 0
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation did not stop any queued jobs")
+	}
+	if int(started.Load())+canceled != 40 {
+		t.Fatalf("started %d + canceled %d != 40", started.Load(), canceled)
+	}
+}

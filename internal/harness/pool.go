@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines, isolating failures: one item's error (or panic) never stops
+// the others. It returns a slice of n per-item errors, nil on success.
+// workers <= 0 means GOMAXPROCS. When ctx is canceled, items not yet
+// started fail with ctx.Err(); items already running finish normally
+// (their own fn is responsible for honouring ctx).
+func Pool(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = protect(ctx, i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// protect calls fn, converting a panic into an error so a faulty job
+// cannot kill its worker (and with it every job queued behind it).
+func protect(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SimError{Reason: ReasonPanic, PanicValue: r, Stack: debug.Stack()}
+			err = fmt.Errorf("pool item %d: %w", i, err)
+		}
+	}()
+	return fn(ctx, i)
+}

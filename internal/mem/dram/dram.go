@@ -88,7 +88,8 @@ type DRAM struct {
 // configurations are programmer-supplied constants.
 func New(cfg Config) *DRAM {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("dram: New called with invalid config (%d channels, %d bank groups x %d banks, tRP-tCL-tRCD %d-%d-%d): %v",
+			cfg.Channels, cfg.BankGroups, cfg.BanksPerGroup, cfg.TRP, cfg.TCL, cfg.TRCD, err))
 	}
 	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
 	for i := range d.chans {

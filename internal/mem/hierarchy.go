@@ -97,7 +97,10 @@ type Hierarchy struct {
 // may be shared with the core.
 func NewHierarchy(cfg Config, st *stats.Stats) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		// The core validates cfg.Mem before construction, so reaching this
+		// means a caller bypassed core.Config.Validate.
+		panic(fmt.Sprintf("mem: NewHierarchy called with invalid config (L1I %dB L1D %dB LLC %dB line %dB): %v",
+			cfg.L1ISizeBytes, cfg.L1DSizeBytes, cfg.LLCSizeBytes, cfg.LineBytes, err))
 	}
 	h := &Hierarchy{
 		cfg:            cfg,

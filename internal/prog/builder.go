@@ -159,7 +159,8 @@ func (b *Builder) Program() (*Program, error) {
 func (b *Builder) MustProgram() *Program {
 	p, err := b.Program()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("prog: builder %q produced an invalid program (%d blocks): %v",
+			b.name, len(b.blocks), err))
 	}
 	return p
 }

@@ -1,0 +1,171 @@
+package cdf
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cdf/internal/harness"
+	"cdf/internal/report"
+)
+
+// renderFig13 builds the same table cmd/cdfexperiments renders, so the
+// determinism check below compares exactly what users see.
+func renderFig13(t *testing.T, rows []Fig13Row) string {
+	t.Helper()
+	tab := &report.Table{
+		Title:   "Fig. 13: IPC improvement over baseline",
+		Columns: []string{"benchmark", "CDF", "PRE"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Benchmark, report.Pct(r.CDFSpeedup), report.Pct(r.PRESpeedup))
+	}
+	cg, pg := Fig13Geomean(rows)
+	tab.AddRow("geomean", report.Pct(cg), report.Pct(pg))
+	out, err := tab.Render("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestParallelSweepDeterministic is the acceptance check for the parallel
+// harness: a sweep on 4 workers must produce byte-identical report tables
+// to the sequential run.
+func TestParallelSweepDeterministic(t *testing.T) {
+	o := SuiteOptions{
+		Benchmarks: []string{"astar", "lbm", "mcf"},
+		MaxUops:    20_000,
+		Seed:       1,
+	}
+	o.Jobs = 1
+	seqRows, err := Fig13Speedup(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Jobs = 4
+	parRows, err := Fig13Speedup(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := renderFig13(t, seqRows), renderFig13(t, parRows)
+	if seq != par {
+		t.Fatalf("parallel table differs from sequential:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", seq, par)
+	}
+}
+
+// TestSweepFailureIsolation: one impossible benchmark must not take down
+// the sweep — the healthy benchmark still gets its row, and the failures
+// arrive aggregated in a *SweepError.
+func TestSweepFailureIsolation(t *testing.T) {
+	o := SuiteOptions{
+		Benchmarks: []string{"lbm", "definitely-missing"},
+		MaxUops:    10_000,
+		Jobs:       4,
+	}
+	rows, err := Fig13Speedup(o)
+	if err == nil {
+		t.Fatal("sweep with an unknown benchmark should report an error")
+	}
+	var sweep *SweepError
+	if !errors.As(err, &sweep) {
+		t.Fatalf("err = %T (%v), want *SweepError", err, err)
+	}
+	// Three modes were requested for the missing benchmark.
+	if len(sweep.Failures) != 3 {
+		t.Fatalf("got %d failures, want 3:\n%v", len(sweep.Failures), err)
+	}
+	for _, f := range sweep.Failures {
+		if f.Benchmark != "definitely-missing" {
+			t.Fatalf("healthy benchmark %s reported as failed: %v", f.Benchmark, f.Err)
+		}
+	}
+	if len(rows) != 1 || rows[0].Benchmark != "lbm" {
+		t.Fatalf("healthy benchmark missing from partial rows: %+v", rows)
+	}
+	if rows[0].CDFSpeedup <= 0 {
+		t.Fatalf("partial row carries no data: %+v", rows[0])
+	}
+}
+
+// TestSweepCancellation: a canceled context aborts queued runs but the
+// sweep still returns rather than hanging.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the sweep even starts
+	o := SuiteOptions{
+		Benchmarks: []string{"astar", "lbm"},
+		MaxUops:    10_000,
+		Context:    ctx,
+	}
+	rows, err := Fig13Speedup(o)
+	if err == nil {
+		t.Fatal("canceled sweep should report an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err should wrap context.Canceled: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("pre-canceled sweep produced rows: %+v", rows)
+	}
+}
+
+// TestRunTimeout: an absurdly small wall-clock budget fails the run with
+// a timeout SimError instead of blocking.
+func TestRunTimeout(t *testing.T) {
+	_, err := Run("mcf", Options{Mode: ModeCDF, MaxUops: 2_000_000, Timeout: time.Microsecond})
+	if err == nil {
+		t.Skip("run finished inside the timeout; machine too fast to test this")
+	}
+	var sim *harness.SimError
+	if !errors.As(err, &sim) || sim.Reason != harness.ReasonTimeout {
+		t.Fatalf("err = %v, want timeout SimError", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring of the error, "" = valid
+	}{
+		{"default", Options{}, ""},
+		{"explicit budget", Options{MaxUops: 50_000, WarmupUops: 10_000}, ""},
+		{"warmup eats the run", Options{MaxUops: 5_000, WarmupUops: 9_000}, "WarmupUops"},
+		{"warmup eats the default run", Options{WarmupUops: DefaultMaxUops}, "WarmupUops"},
+		{"bad mode", Options{Mode: Mode(99)}, "unknown mode"},
+		{"negative rob", Options{ROBSize: -1}, "ROBSize"},
+		{"negative cuc", Options{CUCKB: -4}, "CUCKB"},
+		{"negative timeout", Options{Timeout: -time.Second}, "Timeout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opt.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestResultStopReason: a successful run must carry StopCompleted.
+func TestResultStopReason(t *testing.T) {
+	res, err := Run("lbm", Options{Mode: ModeBaseline, MaxUops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopCompleted {
+		t.Fatalf("stop reason = %s, want completed", res.StopReason)
+	}
+	if res.StopReason.Truncated() {
+		t.Fatal("completed run must not be truncated")
+	}
+}
