@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke ci clean
 
 all: build
 
@@ -22,11 +22,18 @@ race:
 	$(GO) test -race -short ./...
 
 # A brief native-fuzz run of the core: random programs on random machine
-# modes must complete under the watchdog with paranoid invariant checks.
+# modes must complete under the differential oracle and the watchdog with
+# paranoid invariant checks.
 fuzz-smoke:
 	$(GO) test ./internal/core -run FuzzCore -fuzz FuzzCore -fuzztime 10s
 
-ci: vet build test race fuzz-smoke
+# A short full-suite sweep with the lockstep differential oracle checking
+# every retired uop against the functional emulator: zero divergences is
+# the pass condition (a fixed seed keeps the run reproducible).
+oracle-smoke: build
+	$(GO) run ./cmd/cdfexperiments -exp fig13 -uops 20000 -seed 1 -oracle
+
+ci: vet build test race fuzz-smoke oracle-smoke
 
 clean:
 	$(GO) clean ./...

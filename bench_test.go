@@ -93,7 +93,11 @@ func BenchmarkFig13Speedup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cg, pg = Fig13Geomean(rows)
+		var gerr error
+		cg, pg, gerr = Fig13Geomean(rows)
+		if gerr != nil {
+			b.Fatal(gerr)
+		}
 	}
 	b.ReportMetric(100*(cg-1), "%cdf-speedup")
 	b.ReportMetric(100*(pg-1), "%pre-speedup")
@@ -112,7 +116,7 @@ func BenchmarkFig14MLP(b *testing.B) {
 			cs = append(cs, r.CDFMLPRel)
 			ps = append(ps, r.PREMLPRel)
 		}
-		cg, pg = Geomean(cs), Geomean(ps)
+		cg, pg = geo(b, cs), geo(b, ps)
 	}
 	b.ReportMetric(cg, "cdf-MLP-rel")
 	b.ReportMetric(pg, "pre-MLP-rel")
@@ -132,7 +136,7 @@ func BenchmarkFig15Traffic(b *testing.B) {
 			cs = append(cs, r.CDFTrafficRel)
 			ps = append(ps, r.PRETrafficRel)
 		}
-		cg, pg = Geomean(cs), Geomean(ps)
+		cg, pg = geo(b, cs), geo(b, ps)
 	}
 	b.ReportMetric(cg, "cdf-traffic-rel")
 	b.ReportMetric(pg, "pre-traffic-rel")
@@ -152,7 +156,7 @@ func BenchmarkFig16Energy(b *testing.B) {
 			cs = append(cs, r.CDFEnergyRel)
 			ps = append(ps, r.PREEnergyRel)
 		}
-		cg, pg = Geomean(cs), Geomean(ps)
+		cg, pg = geo(b, cs), geo(b, ps)
 	}
 	b.ReportMetric(cg, "cdf-energy-rel")
 	b.ReportMetric(pg, "pre-energy-rel")
@@ -195,7 +199,7 @@ func BenchmarkAblationNoCriticalBranches(b *testing.B) {
 			fs = append(fs, r.CDFSpeedup)
 			ns = append(ns, r.NoCritBranchSpeedup)
 		}
-		fg, ng = Geomean(fs), Geomean(ns)
+		fg, ng = geo(b, fs), geo(b, ns)
 	}
 	b.ReportMetric(100*(fg-1), "%cdf-speedup")
 	b.ReportMetric(100*(ng-1), "%no-branch-speedup")
@@ -318,7 +322,7 @@ func BenchmarkExtensionHybrid(b *testing.B) {
 		for _, r := range rows {
 			hs = append(hs, r.HybridSpeedup)
 		}
-		hg = Geomean(hs)
+		hg = geo(b, hs)
 	}
 	b.ReportMetric(100*(hg-1), "%hybrid-speedup")
 }
@@ -336,7 +340,7 @@ func BenchmarkAblationStaticPartition(b *testing.B) {
 			ds = append(ds, r.DynamicSpeedup)
 			ss = append(ss, r.StaticSpeedup)
 		}
-		dg, sg = Geomean(ds), Geomean(ss)
+		dg, sg = geo(b, ds), geo(b, ss)
 	}
 	b.ReportMetric(100*(dg-1), "%dynamic")
 	b.ReportMetric(100*(sg-1), "%static")

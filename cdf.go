@@ -26,6 +26,7 @@ import (
 	"cdf/internal/core"
 	"cdf/internal/energy"
 	"cdf/internal/harness"
+	"cdf/internal/oracle"
 	"cdf/internal/stats"
 	"cdf/internal/workload"
 )
@@ -43,6 +44,7 @@ const (
 	StopCompleted   = core.StopCompleted
 	StopCycleBudget = core.StopCycleBudget
 	StopWatchdog    = core.StopWatchdog
+	StopDivergence  = core.StopDivergence
 )
 
 // The three machines of the evaluation, plus the §6 future-work extension.
@@ -104,6 +106,13 @@ type Options struct {
 	// the run, turning silent state corruption into an immediate
 	// diagnosable failure. Costs roughly 2x wall-clock.
 	Paranoid bool
+
+	// Oracle runs the functional emulator in lockstep with the cycle core
+	// and checks every retired uop's architectural effect (destination
+	// value, store address/data, branch direction/target, halt). A mismatch
+	// aborts the run with a *harness.SimError whose cause is the
+	// *oracle.DivergenceError carrying both machines' states.
+	Oracle bool
 }
 
 // DefaultMaxUops is the per-run instruction budget when Options.MaxUops is
@@ -271,7 +280,12 @@ func RunContext(ctx context.Context, benchmark string, opt Options) (Result, err
 	if err != nil {
 		return Result{}, fmt.Errorf("cdf: %s/%s: %w", benchmark, opt.Mode, err)
 	}
-	reason, err := harness.Exec(ctx, c, harness.Options{Timeout: opt.Timeout})
+	if opt.Oracle {
+		// Attach before the first cycle: the checker clones the initial
+		// memory, which the core's own emulator mutates as it runs ahead.
+		oracle.Attach(c, prg, mem)
+	}
+	reason, err := harness.Exec(ctx, c, harness.Options{Timeout: opt.Timeout, Seed: opt.Seed})
 	if err != nil {
 		return Result{}, fmt.Errorf("cdf: %s/%s: %w", benchmark, opt.Mode, err)
 	}

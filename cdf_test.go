@@ -93,14 +93,28 @@ func TestTable1ConfigRendersParameters(t *testing.T) {
 	}
 }
 
-func TestGeomean(t *testing.T) {
-	if Geomean(nil) != 0 {
-		t.Fatal("empty geomean should be 0")
+// geo computes a geomean whose inputs the test has already validated, so
+// an error is a test bug.
+func geo(tb testing.TB, vs []float64) float64 {
+	tb.Helper()
+	g, err := Geomean(vs)
+	if err != nil {
+		tb.Fatal(err)
 	}
-	if g := Geomean([]float64{2, 8}); g != 4 {
+	return g
+}
+
+func TestGeomean(t *testing.T) {
+	if _, err := Geomean(nil); err == nil {
+		t.Fatal("empty geomean should error")
+	}
+	if _, err := Geomean([]float64{1.2, 0}); err == nil {
+		t.Fatal("zero sample should error")
+	}
+	if g := geo(t, []float64{2, 8}); g != 4 {
 		t.Fatalf("geomean(2,8) = %v", g)
 	}
-	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+	if g := geo(t, []float64{1, 1, 1}); g != 1 {
 		t.Fatalf("geomean(1,1,1) = %v", g)
 	}
 }

@@ -24,14 +24,27 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"cdf"
 	"cdf/internal/harness"
 	"cdf/internal/report"
 )
+
+// geomean adapts cdf.Geomean for table cells: a degenerate aggregate
+// (empty after failures, or a zero-IPC row) becomes NaN, which the report
+// formatters render as "n/a"; the run's sweep error reports why.
+func geomean(vs []float64) float64 {
+	g, err := cdf.Geomean(vs)
+	if err != nil {
+		return math.NaN()
+	}
+	return g
+}
 
 var experiments = []struct {
 	name string
@@ -57,11 +70,12 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment name or 'all' (see -list)")
 		uops     = flag.Uint64("uops", 0, "instructions per run (0 = default)")
 		warmup   = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
-		seed     = flag.Uint64("seed", 1, "wrong-path model seed")
+		seed     = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
 		format   = flag.String("format", "text", "output format: text | markdown | csv")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock limit per simulation run (0 = none)")
 		paranoid = flag.Bool("paranoid", false, "run invariant checks inside every simulation (~2x slower)")
+		oracle   = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -72,6 +86,13 @@ func main() {
 		}
 		return
 	}
+
+	// The seed is always printed so any failed run can be replayed exactly;
+	// 0 asks for a fresh one.
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+	fmt.Fprintf(os.Stderr, "cdfexperiments: seed %d\n", *seed)
 
 	// SIGINT cancels the runs still outstanding; finished results are
 	// still rendered below, so a long sweep can be cut short usefully.
@@ -85,6 +106,7 @@ func main() {
 		Jobs:       *jobs,
 		Timeout:    *timeout,
 		Paranoid:   *paranoid,
+		Oracle:     *oracle,
 		Context:    ctx,
 	}
 	ran, failed := false, false
@@ -186,8 +208,11 @@ func runFig13(o cdf.SuiteOptions) ([]*report.Table, error) {
 	for _, r := range rows {
 		t.AddRow(r.Benchmark, report.Pct(r.CDFSpeedup), report.Pct(r.PRESpeedup))
 	}
-	cg, pg := cdf.Fig13Geomean(rows)
-	t.AddRow("geomean", report.Pct(cg), report.Pct(pg))
+	if cg, pg, gerr := cdf.Fig13Geomean(rows); gerr != nil {
+		t.AddRow("geomean", report.NA, report.NA)
+	} else {
+		t.AddRow("geomean", report.Pct(cg), report.Pct(pg))
+	}
 	return []*report.Table{t}, err
 }
 
@@ -217,7 +242,7 @@ func runFig15(o cdf.SuiteOptions) ([]*report.Table, error) {
 		cs = append(cs, r.CDFTrafficRel)
 		ps = append(ps, r.PRETrafficRel)
 	}
-	t.AddRow("geomean", report.Rel(cdf.Geomean(cs)), report.Rel(cdf.Geomean(ps)))
+	t.AddRow("geomean", report.Rel(geomean(cs)), report.Rel(geomean(ps)))
 	return []*report.Table{t}, err
 }
 
@@ -234,7 +259,7 @@ func runFig16(o cdf.SuiteOptions) ([]*report.Table, error) {
 		cs = append(cs, r.CDFEnergyRel)
 		ps = append(ps, r.PREEnergyRel)
 	}
-	t.AddRow("geomean", report.Rel(cdf.Geomean(cs)), report.Rel(cdf.Geomean(ps)))
+	t.AddRow("geomean", report.Rel(geomean(cs)), report.Rel(geomean(ps)))
 	return []*report.Table{t}, err
 }
 
@@ -266,7 +291,7 @@ func runAblation(o cdf.SuiteOptions) ([]*report.Table, error) {
 		fs = append(fs, r.CDFSpeedup)
 		ns = append(ns, r.NoCritBranchSpeedup)
 	}
-	t.AddRow("geomean", report.Pct(cdf.Geomean(fs)), report.Pct(cdf.Geomean(ns)))
+	t.AddRow("geomean", report.Pct(geomean(fs)), report.Pct(geomean(ns)))
 	return []*report.Table{t}, err
 }
 
@@ -284,7 +309,7 @@ func runHybrid(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ps = append(ps, r.PRESpeedup)
 		hs = append(hs, r.HybridSpeedup)
 	}
-	t.AddRow("geomean", report.Pct(cdf.Geomean(cs)), report.Pct(cdf.Geomean(ps)), report.Pct(cdf.Geomean(hs)))
+	t.AddRow("geomean", report.Pct(geomean(cs)), report.Pct(geomean(ps)), report.Pct(geomean(hs)))
 	return []*report.Table{t}, err
 }
 
@@ -301,7 +326,7 @@ func runPartition(o cdf.SuiteOptions) ([]*report.Table, error) {
 		ds = append(ds, r.DynamicSpeedup)
 		ss = append(ss, r.StaticSpeedup)
 	}
-	t.AddRow("geomean", report.Pct(cdf.Geomean(ds)), report.Pct(cdf.Geomean(ss)))
+	t.AddRow("geomean", report.Pct(geomean(ds)), report.Pct(geomean(ss)))
 	return []*report.Table{t}, err
 }
 

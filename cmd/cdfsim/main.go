@@ -5,11 +5,15 @@
 //
 //	cdfsim -bench astar -mode cdf -uops 200000
 //	cdfsim -bench mcf -timeout 2m -paranoid
+//	cdfsim -bench lbm -oracle              # lockstep differential checking
+//	cdfsim -repro repro/repro-divergence-seed7.json
 //	cdfsim -list
 //	cdfsim -print-config
 //
-// A run that fails — panic, watchdog-detected deadlock, or -timeout — exits
-// non-zero and prints the machine-state snapshot captured at the failure.
+// A run that fails — panic, watchdog-detected deadlock, -timeout, or an
+// -oracle divergence — exits non-zero and prints the machine-state snapshot
+// captured at the failure. Every run prints its seed, so any failure can be
+// replayed exactly with -seed.
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cdf"
 	"cdf/internal/core"
 	"cdf/internal/harness"
+	"cdf/internal/oracle"
 	"cdf/internal/workload"
 )
 
@@ -32,7 +38,7 @@ func main() {
 		uops   = flag.Uint64("uops", 0, "instructions to simulate (0 = default)")
 		warmup = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
 		rob    = flag.Int("rob", 0, "ROB size override (0 = Table 1's 352; other structures scale)")
-		seed   = flag.Uint64("seed", 1, "wrong-path model seed")
+		seed   = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
 		noBr   = flag.Bool("no-critical-branches", false, "disable hard-to-predict branch marking (ablation)")
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		prtCfg = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
@@ -40,6 +46,8 @@ func main() {
 
 		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		paranoid = flag.Bool("paranoid", false, "run invariant checks during the simulation (~2x slower)")
+		oracleOn = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
+		repro    = flag.String("repro", "", "replay a repro artifact written by the failure minimizer, then exit")
 	)
 	flag.Parse()
 
@@ -53,6 +61,17 @@ func main() {
 		}
 		return
 	}
+	if *repro != "" {
+		runRepro(*repro, *timeout)
+		return
+	}
+
+	// The seed is always printed so a failing run can be replayed exactly;
+	// 0 asks for a fresh one.
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+	fmt.Printf("seed        %d\n", *seed)
 
 	opt := cdf.Options{
 		MaxUops:    *uops,
@@ -61,6 +80,7 @@ func main() {
 		Seed:       *seed,
 		Timeout:    *timeout,
 		Paranoid:   *paranoid,
+		Oracle:     *oracleOn,
 	}
 	switch *mode {
 	case "baseline":
@@ -88,10 +108,7 @@ func main() {
 	res, err := cdf.Run(*bench, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdfsim:", err)
-		var sim *harness.SimError
-		if errors.As(err, &sim) && sim.HasSnap {
-			fmt.Fprintln(os.Stderr, sim.Snap.String())
-		}
+		printFailureDetail(os.Stderr, err)
 		os.Exit(1)
 	}
 
@@ -139,12 +156,60 @@ func runTraced(bench string, opt cdf.Options, n int) {
 	}
 	tr := &core.TextTracer{W: os.Stdout, MaxEvents: n}
 	c.SetTracer(tr)
-	if _, err := harness.Exec(context.Background(), c, harness.Options{Timeout: opt.Timeout}); err != nil {
+	if _, err := harness.Exec(context.Background(), c, harness.Options{Timeout: opt.Timeout, Seed: opt.Seed}); err != nil {
 		fmt.Fprintln(os.Stderr, "cdfsim:", err)
-		var sim *harness.SimError
-		if errors.As(err, &sim) && sim.HasSnap {
-			fmt.Fprintln(os.Stderr, sim.Snap.String())
-		}
+		printFailureDetail(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// printFailureDetail expands a failed run's error: the per-field mismatch
+// list and reference state for divergences, and the machine-state snapshot
+// when one was captured.
+func printFailureDetail(w *os.File, err error) {
+	var div *oracle.DivergenceError
+	if errors.As(err, &div) {
+		for _, m := range div.Mismatch {
+			fmt.Fprintln(w, "  mismatch:", m)
+		}
+		fmt.Fprintln(w, "  reference:", div.Ref)
+	}
+	var sim *harness.SimError
+	if errors.As(err, &sim) && sim.HasSnap {
+		fmt.Fprintln(w, sim.Snap.String())
+	}
+}
+
+// runRepro replays a minimized failure artifact. The replay succeeds (exit
+// 0) only when the recorded failure class reproduces.
+func runRepro(path string, timeout time.Duration) {
+	c, fault, want, err := harness.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		os.Exit(2)
+	}
+	src := c.Bench
+	if src == "" {
+		src = "embedded program"
+	}
+	fmt.Printf("replaying %s: %s, mode %s, seed %d", path, src, c.Mode, c.Seed)
+	if fault != "" {
+		fmt.Printf(", fault %q", fault)
+	}
+	fmt.Printf(" (recorded failure: %s)\n", want)
+
+	_, err = harness.RunCase(context.Background(), c, true, fault, harness.Options{Timeout: timeout})
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "cdfsim: repro did not reproduce: run completed cleanly (recorded %q)\n", want)
+		os.Exit(1)
+	}
+	fmt.Println(err)
+	printFailureDetail(os.Stdout, err)
+	var sim *harness.SimError
+	if errors.As(err, &sim) && sim.Reason == want {
+		fmt.Printf("reproduced recorded failure %q\n", want)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cdfsim: failure does not match recorded class %q\n", want)
+	os.Exit(1)
 }

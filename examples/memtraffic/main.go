@@ -40,8 +40,15 @@ func main() {
 		ce = append(ce, e.CDFEnergyRel)
 		pe = append(pe, e.PREEnergyRel)
 	}
+	geo := func(vs []float64) float64 {
+		g, err := cdf.Geomean(vs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
 	fmt.Printf("%-10s | %8.2fx %8.2fx | %8.3fx %8.3fx\n",
-		"geomean", cdf.Geomean(ct), cdf.Geomean(pt), cdf.Geomean(ce), cdf.Geomean(pe))
+		"geomean", geo(ct), geo(pt), geo(ce), geo(pe))
 
 	fmt.Println("\nThe paper's Fig. 15/16 shape: PRE pays for its prefetching with")
 	fmt.Println("wrong-chain DRAM traffic; CDF's critical loads are part of the real")

@@ -3,12 +3,12 @@ package cdf
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
 
 	"cdf/internal/core"
+	"cdf/internal/stats"
 )
 
 // SuiteOptions configures a whole-suite experiment.
@@ -40,6 +40,10 @@ type SuiteOptions struct {
 	// Paranoid runs core.CheckInvariants periodically inside every run
 	// (~2x wall-clock).
 	Paranoid bool
+	// Oracle runs every simulation under the lockstep differential checker
+	// (see Options.Oracle); a divergence fails that run and is reported
+	// through the sweep's *SweepError.
+	Oracle bool
 	// Context cancels the sweep (nil = context.Background). Runs already
 	// finished when the context fires are kept, so partial tables can
 	// still be rendered after e.g. a SIGINT.
@@ -71,19 +75,15 @@ func (o SuiteOptions) runOptions() Options {
 		Seed:       o.Seed,
 		Timeout:    o.Timeout,
 		Paranoid:   o.Paranoid,
+		Oracle:     o.Oracle,
 	}
 }
 
-// Geomean returns the geometric mean of vs (which must be positive).
-func Geomean(vs []float64) float64 {
-	if len(vs) == 0 {
-		return 0
-	}
-	s := 0.0
-	for _, v := range vs {
-		s += math.Log(v)
-	}
-	return math.Exp(s / float64(len(vs)))
+// Geomean returns the geometric mean of vs. Empty input or a non-positive
+// or non-finite sample — the signature of a zero-IPC row from a partial
+// sweep — is an explicit error, never a NaN that would flow into a table.
+func Geomean(vs []float64) (float64, error) {
+	return stats.Geomean(vs)
 }
 
 // --- Table 1 ---
@@ -181,14 +181,21 @@ func Fig13Speedup(o SuiteOptions) ([]Fig13Row, error) {
 }
 
 // Fig13Geomean returns the suite geomean speedups (the paper's headline:
-// CDF 6.1%, PRE 2.6%).
-func Fig13Geomean(rows []Fig13Row) (cdfGeo, preGeo float64) {
+// CDF 6.1%, PRE 2.6%). With no rows, or a degenerate speedup in one, the
+// error says so instead of reporting a bogus summary bar.
+func Fig13Geomean(rows []Fig13Row) (cdfGeo, preGeo float64, err error) {
 	var cs, ps []float64
 	for _, r := range rows {
 		cs = append(cs, r.CDFSpeedup)
 		ps = append(ps, r.PRESpeedup)
 	}
-	return Geomean(cs), Geomean(ps)
+	if cdfGeo, err = Geomean(cs); err != nil {
+		return 0, 0, err
+	}
+	if preGeo, err = Geomean(ps); err != nil {
+		return 0, 0, err
+	}
+	return cdfGeo, preGeo, nil
 }
 
 // --- Fig. 14 ---
@@ -338,13 +345,21 @@ func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
 		if len(bIPC) == 0 {
 			continue
 		}
-		rows = append(rows, Fig17Row{
-			ROBSize:           rob,
-			BaselineIPCRel:    Geomean(bIPC),
-			CDFIPCRel:         Geomean(cIPC),
-			BaselineEnergyRel: Geomean(bEn),
-			CDFEnergyRel:      Geomean(cEn),
-		})
+		row := Fig17Row{ROBSize: rob}
+		var err error
+		if row.BaselineIPCRel, err = Geomean(bIPC); err != nil {
+			return rows, fmt.Errorf("fig17 rob=%d baseline ipc: %w", rob, err)
+		}
+		if row.CDFIPCRel, err = Geomean(cIPC); err != nil {
+			return rows, fmt.Errorf("fig17 rob=%d cdf ipc: %w", rob, err)
+		}
+		if row.BaselineEnergyRel, err = Geomean(bEn); err != nil {
+			return rows, fmt.Errorf("fig17 rob=%d baseline energy: %w", rob, err)
+		}
+		if row.CDFEnergyRel, err = Geomean(cEn); err != nil {
+			return rows, fmt.Errorf("fig17 rob=%d cdf energy: %w", rob, err)
+		}
+		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ROBSize < rows[j].ROBSize })
 	return rows, sweep.orNil()

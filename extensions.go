@@ -11,6 +11,8 @@ package cdf
 //     paper fixes it at 18KB; §4.1 notes its capacity advantage over PRE's
 //     SST, so capacity should matter).
 
+import "fmt"
+
 // HybridRow compares CDF, PRE and the hybrid machine on one benchmark.
 type HybridRow struct {
 	Benchmark     string
@@ -141,7 +143,11 @@ func SweepCUCSize(o SuiteOptions, sizesKB []int) ([]CUCSweepRow, error) {
 		if len(sp) == 0 {
 			continue
 		}
-		rows = append(rows, CUCSweepRow{CUCKB: kb, CDFSpeedup: Geomean(sp)})
+		g, err := Geomean(sp)
+		if err != nil {
+			return rows, fmt.Errorf("cuc sweep %dKB: %w", kb, err)
+		}
+		rows = append(rows, CUCSweepRow{CUCKB: kb, CDFSpeedup: g})
 	}
 	return rows, sweep.orNil()
 }

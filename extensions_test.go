@@ -94,7 +94,7 @@ func TestShapeDynamicPartitionHelps(t *testing.T) {
 		dyn = append(dyn, r.DynamicSpeedup)
 		static = append(static, r.StaticSpeedup)
 	}
-	dg, sg := Geomean(dyn), Geomean(static)
+	dg, sg := geo(t, dyn), geo(t, static)
 	if dg < sg-0.005 {
 		t.Fatalf("dynamic partitioning (%.3f) should not lose to static (%.3f)", dg, sg)
 	}

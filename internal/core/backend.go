@@ -591,6 +591,10 @@ func (c *Core) retire() {
 			return
 		}
 		c.retireEntry(e)
+		if c.finished {
+			// Divergence or final uop: nothing younger may retire.
+			return
+		}
 	}
 }
 
@@ -600,6 +604,11 @@ func (c *Core) pipelineEmpty() bool {
 }
 
 func (c *Core) retireEntry(e *entry) {
+	if !c.checkCommit(e) {
+		// Divergence: the machine stops with its state intact for the
+		// snapshot; the diverging uop does not retire.
+		return
+	}
 	if e.critical {
 		if c.robCrit.head() != e {
 			panic(errInternal("critical retire head mismatch"))

@@ -112,6 +112,11 @@ type Core struct {
 	// tracer receives pipeline events when set (see trace.go).
 	tracer Tracer
 
+	// Differential-oracle hooks (see commit.go).
+	commitCheck func(CommitEffect) error
+	commitFault func(*CommitEffect)
+	checkErr    error
+
 	// Debug hooks (tests only).
 	debugViol        func(e *entry, reg int)
 	debugBlockRetire func() bool // when set and true, retire stalls (watchdog tests)

@@ -1,112 +1,22 @@
 package core
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"cdf/internal/emu"
-	"cdf/internal/isa"
 	"cdf/internal/prog"
 )
 
-// progGen generates random-but-valid looping programs: nested loops, data
-// branches, loads/stores over a random-content region, calls, and mixed ALU
-// work. It stresses control-flow corners the hand-written kernels avoid.
-type progGen struct {
-	rng uint64
-	b   *prog.Builder
-}
-
-func (g *progGen) next() uint64 {
-	g.rng ^= g.rng << 13
-	g.rng ^= g.rng >> 7
-	g.rng ^= g.rng << 17
-	return g.rng
-}
-
-func (g *progGen) reg() isa.Reg { return isa.Reg(4 + g.next()%20) }
-
-// body emits a random straight-line stretch.
-func (g *progGen) body(n int) {
-	for i := 0; i < n; i++ {
-		switch g.next() % 10 {
-		case 0:
-			g.b.Load(g.reg(), r(2), int64(g.next()%512)*8)
-		case 1:
-			g.b.Store(r(3), int64(g.next()%64)*8, g.reg())
-		case 2:
-			g.b.Mul(g.reg(), g.reg(), g.reg())
-		case 3:
-			g.b.FAdd(g.reg(), g.reg(), g.reg())
-		case 4:
-			g.b.Div(g.reg(), g.reg(), r(30)) // r30 = 3, never zero
-		case 5:
-			g.b.XorI(g.reg(), g.reg(), int64(g.next()%255))
-		default:
-			g.b.AddI(g.reg(), g.reg(), int64(g.next()%16))
-		}
-	}
-}
-
-// genProgram builds a program with outer loop, optional inner loop, a data
-// branch, and a call/ret pair.
+// genProgram materializes the shared random-program generator (see
+// prog.Generate): random-but-valid looping programs with nested loops,
+// data branches, loads/stores over a random-content region, calls, and
+// mixed ALU work. It stresses control-flow corners the hand-written
+// kernels avoid.
 func genProgram(seed uint64) (*prog.Program, *emu.Memory) {
-	g := &progGen{rng: seed*0x9E3779B97F4A7C15 + 1}
-	g.b = prog.NewBuilder("fuzz")
-	b := g.b
-
-	m := emu.NewMemory()
-	m.AddRegion(0x10000000, 0x10000000+(1<<24), func(a uint64) int64 {
-		return int64(emu.SplitMix64(a ^ seed))
-	})
-
-	b.MovI(r(0), 0)
-	b.MovI(r(1), 1<<40) // outer counter
-	b.MovI(r(2), 0x10000000)
-	b.MovI(r(3), 0x10800000)
-	b.MovI(r(30), 3)
-
-	var fn int
-	hasCall := g.next()%2 == 0
-	if hasCall {
-		fn = b.ReserveLabel()
-	}
-
-	outer := b.Label()
-	g.body(int(2 + g.next()%8))
-
-	// A data-dependent branch with random bias.
-	b.Load(r(25), r(2), int64(g.next()%256)*8)
-	b.AndI(r(26), r(25), int64(1<<(g.next()%4))-1)
-	skip := b.ReserveLabel()
-	b.Bne(r(26), r(0), skip)
-	g.body(int(1 + g.next()%4))
-	b.Place(skip)
-
-	if hasCall {
-		b.Call(fn)
-	}
-
-	// Optional inner loop.
-	if g.next()%2 == 0 {
-		b.MovI(r(27), int64(2+g.next()%6))
-		inner := b.Label()
-		g.body(int(1 + g.next()%4))
-		b.SubI(r(27), r(27), 1)
-		b.Bne(r(27), r(0), inner)
-	}
-
-	// Advance the load cursor so addresses move.
-	b.AddI(r(2), r(2), int64(8*(1+g.next()%32)))
-	b.SubI(r(1), r(1), 1)
-	b.Bne(r(1), r(0), outer)
-	b.Halt()
-
-	if hasCall {
-		b.Place(fn)
-		g.body(int(1 + g.next()%3))
-		b.Ret()
-	}
-	return b.MustProgram(), m
+	p, spec := prog.Generate(rand.New(rand.NewSource(int64(seed))), fmt.Sprintf("fuzz-%d", seed))
+	return p, emu.BuildMemory(spec)
 }
 
 // TestFuzzRandomPrograms runs randomly generated programs on every machine,
@@ -148,52 +58,6 @@ func TestFuzzRandomPrograms(t *testing.T) {
 					t.Fatalf("seed %d: nondeterministic (%d vs %d cycles)", seed, a, b)
 				}
 			})
-		}
-	}
-}
-
-// FuzzCore is the native fuzzing entry (`go test -fuzz FuzzCore`): the
-// inputs drive the random program generator and the machine mode, and the
-// oracle is full completion under the forward-progress watchdog with
-// paranoid invariant checks on. The Makefile's fuzz-smoke target runs it
-// briefly on every CI pass.
-func FuzzCore(f *testing.F) {
-	f.Add(uint64(1), byte(0))
-	f.Add(uint64(2), byte(1))
-	f.Add(uint64(3), byte(2))
-	f.Add(uint64(5), byte(3))
-	f.Fuzz(func(t *testing.T, seed uint64, modeByte byte) {
-		mode := Mode(modeByte % 4)
-		p, m := genProgram(seed)
-		cfg := Default()
-		cfg.Mode = mode
-		cfg.MaxRetired = 3_000
-		cfg.MaxCycles = 1_500_000
-		cfg.WatchdogCycles = 20_000
-		cfg.ParanoidEvery = 97
-		c, err := New(cfg, p, m)
-		if err != nil {
-			t.Fatal(err)
-		}
-		c.Run()
-		if c.StopReason() != StopCompleted {
-			t.Fatalf("seed %d mode %s stopped with %s:\n%s",
-				seed, mode, c.StopReason(), c.Snapshot())
-		}
-	})
-}
-
-// TestFuzzProgramsEmulateCleanly double-checks the generator's programs are
-// functionally well-formed (the emulator is the ground truth).
-func TestFuzzProgramsEmulateCleanly(t *testing.T) {
-	for seed := uint64(1); seed <= 20; seed++ {
-		p, m := genProgram(seed)
-		if err := p.Validate(); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		e := emu.New(p, m)
-		if n := e.Run(20_000); n != 20_000 {
-			t.Fatalf("seed %d: emulated only %d uops", seed, n)
 		}
 	}
 }

@@ -23,6 +23,9 @@ const (
 	// machine (no retirement for Config.WatchdogCycles cycles with no
 	// outstanding memory operation at the ROB head).
 	StopWatchdog
+	// StopDivergence: the differential oracle's commit check rejected a
+	// retiring uop's architectural effect; Core.Err carries the detail.
+	StopDivergence
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +39,8 @@ func (r StopReason) String() string {
 		return "cycle-budget"
 	case StopWatchdog:
 		return "watchdog"
+	case StopDivergence:
+		return "divergence"
 	}
 	return fmt.Sprintf("stop(%d)", uint8(r))
 }
@@ -43,7 +48,7 @@ func (r StopReason) String() string {
 // Truncated reports whether the run ended before retiring its budget, so
 // its statistics describe an incomplete region.
 func (r StopReason) Truncated() bool {
-	return r == StopCycleBudget || r == StopWatchdog
+	return r == StopCycleBudget || r == StopWatchdog || r == StopDivergence
 }
 
 // StopReason returns why the run finished (StopNone while running).

@@ -2,6 +2,7 @@ package emu
 
 import (
 	"fmt"
+	"strings"
 
 	"cdf/internal/isa"
 	"cdf/internal/prog"
@@ -20,6 +21,11 @@ type DynUop struct {
 
 	Addr  uint64 // effective address (memory ops only)
 	Value int64  // value loaded or stored (memory ops only)
+
+	// DstValue is the value architecturally written to U.Dst (dest-writing
+	// uops only; equals Value for loads). The differential oracle compares
+	// it against an independently stepped emulator at retire.
+	DstValue int64
 
 	Taken     bool   // branch outcome (branches only)
 	NextPC    uint64 // PC of the next correct-path uop (0 if program halted)
@@ -104,6 +110,7 @@ func (e *Emulator) Step(d *DynUop) bool {
 		addr := uint64(src1 + u.Imm)
 		d.Addr = addr
 		d.Value = e.Mem.Read64(addr)
+		d.DstValue = d.Value
 		e.Regs[u.Dst] = d.Value
 		advanceSequential()
 
@@ -148,7 +155,8 @@ func (e *Emulator) Step(d *DynUop) bool {
 	default:
 		// ALU class (OpNop has no destination).
 		if u.Dst.Valid() {
-			e.Regs[u.Dst] = isa.EvalALU(u.Op, src1, src2, u.Imm)
+			d.DstValue = isa.EvalALU(u.Op, src1, src2, u.Imm)
+			e.Regs[u.Dst] = d.DstValue
 		}
 		advanceSequential()
 	}
@@ -162,6 +170,64 @@ func (e *Emulator) Step(d *DynUop) bool {
 	d.NextBlock = nextBlock
 	d.NextPC = e.Prog.PC(nextBlock, nextIdx)
 	return true
+}
+
+// ArchState is a point-in-time copy of the emulator's architectural state:
+// the register file plus the execution position. It is what divergence
+// reports carry as the reference-machine side of the diff. Data memory is
+// not captured (it is unbounded); store divergences are caught at the store
+// itself via address/data comparison.
+type ArchState struct {
+	Seq     uint64 // dynamic uops executed
+	BlockID int
+	Index   int
+	Halted  bool
+	Regs    [isa.NumRegs]int64
+}
+
+// ArchState captures the emulator's current architectural state.
+func (e *Emulator) ArchState() ArchState {
+	return ArchState{
+		Seq:     e.seq,
+		BlockID: e.blockID,
+		Index:   e.uopIdx,
+		Halted:  e.halted,
+		Regs:    e.Regs,
+	}
+}
+
+// Diff returns a human-readable list of the fields in which a differs from
+// b, one item per difference ("R7: 3 vs 9"). An empty slice means the
+// states are architecturally identical.
+func (a ArchState) Diff(b ArchState) []string {
+	var out []string
+	if a.Seq != b.Seq {
+		out = append(out, fmt.Sprintf("seq: %d vs %d", a.Seq, b.Seq))
+	}
+	if a.BlockID != b.BlockID || a.Index != b.Index {
+		out = append(out, fmt.Sprintf("position: B%d[%d] vs B%d[%d]", a.BlockID, a.Index, b.BlockID, b.Index))
+	}
+	if a.Halted != b.Halted {
+		out = append(out, fmt.Sprintf("halted: %v vs %v", a.Halted, b.Halted))
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if a.Regs[r] != b.Regs[r] {
+			out = append(out, fmt.Sprintf("%s: %d vs %d", isa.Reg(r), a.Regs[r], b.Regs[r]))
+		}
+	}
+	return out
+}
+
+// String renders the state compactly (registers holding zero are elided).
+func (a ArchState) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seq %d at B%d[%d] halted=%v", a.Seq, a.BlockID, a.Index, a.Halted)
+	for r := 0; r < isa.NumRegs; r++ {
+		if a.Regs[r] != 0 {
+			fmt.Fprintf(&sb, " %s=%d", isa.Reg(r), a.Regs[r])
+		}
+	}
+	return sb.String()
 }
 
 // Run executes up to max uops (all remaining if max <= 0) and returns the

@@ -3,6 +3,8 @@
 // dynamic uops (addresses, values, branch outcomes).
 package emu
 
+import "cdf/internal/prog"
+
 // Memory is sparse 64-bit-word-addressable data memory. Workload kernels
 // use 8-byte-aligned accesses exclusively, so words are keyed by addr>>3.
 // The timing model never reads values from Memory; only the emulator does.
@@ -55,6 +57,34 @@ func (m *Memory) Write64(addr uint64, v int64) {
 
 // Footprint returns the number of distinct words explicitly written.
 func (m *Memory) Footprint() int { return len(m.words) }
+
+// Clone returns an independent copy of m: explicit writes are deep-copied,
+// procedural regions are shared (their functions are pure). The differential
+// oracle clones a workload's memory before the timing core's lookahead
+// emulator starts mutating it, so the reference emulator executes against
+// untouched initial state.
+func (m *Memory) Clone() *Memory {
+	w := make(map[uint64]int64, len(m.words))
+	for k, v := range m.words {
+		w[k] = v
+	}
+	return &Memory{words: w, regions: append([]Region(nil), m.regions...)}
+}
+
+// BuildMemory materializes a serializable prog.MemSpec: every region reads
+// as SplitMix64(addr ^ Salt). Repro artifacts reconstruct a failing case's
+// data memory through this, so generated programs round-trip through disk
+// with bit-identical initial contents.
+func BuildMemory(spec prog.MemSpec) *Memory {
+	m := NewMemory()
+	for _, r := range spec {
+		salt := r.Salt
+		m.AddRegion(r.Lo, r.Hi, func(a uint64) int64 {
+			return int64(SplitMix64(a ^ salt))
+		})
+	}
+	return m
+}
 
 // SplitMix64 is a deterministic address/value hash for procedural regions.
 func SplitMix64(x uint64) uint64 {

@@ -11,6 +11,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -39,6 +40,10 @@ type Options struct {
 	// runs abort cooperatively at the next cycle-chunk boundary and
 	// return a *SimError with a snapshot.
 	Timeout time.Duration
+	// Seed is the generation seed of the run, embedded in any *SimError
+	// so failure reports always carry what is needed to reproduce (0 =
+	// not seed-driven).
+	Seed uint64
 }
 
 // Abort reasons in SimError.Reason.
@@ -48,6 +53,18 @@ const (
 	ReasonCanceled    = "canceled"
 	ReasonWatchdog    = "watchdog"
 	ReasonCycleBudget = "cycle-budget"
+	ReasonDivergence  = "divergence"
+)
+
+// Sentinel targets for errors.Is: callers match failure classes
+// programmatically instead of string-sniffing SimError.Reason.
+var (
+	ErrPanic       = errors.New("simulation panicked")
+	ErrTimeout     = errors.New("simulation timed out")
+	ErrCanceled    = errors.New("simulation canceled")
+	ErrWatchdog    = errors.New("simulation watchdog tripped")
+	ErrCycleBudget = errors.New("simulation cycle budget expired")
+	ErrDivergence  = errors.New("simulation diverged from reference")
 )
 
 // SimError describes a simulation that did not complete: a recovered
@@ -58,6 +75,8 @@ type SimError struct {
 	Reason     string // one of the Reason* constants
 	PanicValue any    // the recovered value (Reason == ReasonPanic)
 	Stack      []byte // goroutine stack at the panic site
+	Cause      error  // underlying error (e.g. *oracle.DivergenceError)
+	Seed       uint64 // generation seed of the failed run (0 = not seeded)
 	Snap       core.Snapshot
 	HasSnap    bool
 }
@@ -70,6 +89,12 @@ func (e *SimError) Error() string {
 	if e.PanicValue != nil {
 		fmt.Fprintf(&sb, ": %v", e.PanicValue)
 	}
+	if e.Cause != nil {
+		fmt.Fprintf(&sb, ": %v", e.Cause)
+	}
+	if e.Seed != 0 {
+		fmt.Fprintf(&sb, " (seed %d)", e.Seed)
+	}
 	if e.HasSnap {
 		fmt.Fprintf(&sb, " [cycle %d, retired %d, ROB %d+%d/%d", e.Snap.Cycle, e.Snap.Retired,
 			e.Snap.ROBCrit, e.Snap.ROBNon, e.Snap.ROBCap)
@@ -81,12 +106,37 @@ func (e *SimError) Error() string {
 	return sb.String()
 }
 
-// Unwrap lets errors.As find the panic value when it is itself an error.
+// Unwrap lets errors.As reach the underlying cause — the divergence error
+// in oracle-mode failures, or the panic value when it is itself an error.
 func (e *SimError) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
 	if err, ok := e.PanicValue.(error); ok {
 		return err
 	}
 	return nil
+}
+
+// Is maps the failure class onto the package's sentinel errors, so
+// errors.Is(err, harness.ErrWatchdog) and friends work through any
+// wrapping (including cdf.SweepError's multi-error Unwrap).
+func (e *SimError) Is(target error) bool {
+	switch target {
+	case ErrPanic:
+		return e.Reason == ReasonPanic
+	case ErrTimeout:
+		return strings.HasPrefix(e.Reason, ReasonTimeout)
+	case ErrCanceled:
+		return strings.HasPrefix(e.Reason, ReasonCanceled)
+	case ErrWatchdog:
+		return e.Reason == ReasonWatchdog
+	case ErrCycleBudget:
+		return e.Reason == ReasonCycleBudget
+	case ErrDivergence:
+		return e.Reason == ReasonDivergence
+	}
+	return false
 }
 
 // cycleChunk is how many cycles run between cancellation checks: large
@@ -121,6 +171,7 @@ func Exec(ctx context.Context, sim Sim, opt Options) (core.StopReason, error) {
 					Reason:     ReasonPanic,
 					PanicValue: r,
 					Stack:      debug.Stack(),
+					Seed:       opt.Seed,
 					Snap:       snap,
 					HasSnap:    ok,
 				}}
@@ -135,7 +186,7 @@ func Exec(ctx context.Context, sim Sim, opt Options) (core.StopReason, error) {
 				return
 			}
 		}
-		reason, err := classify(sim)
+		reason, err := classify(sim, opt.Seed)
 		done <- execResult{reason: reason, err: err}
 	}()
 
@@ -166,23 +217,37 @@ func Exec(ctx context.Context, sim Sim, opt Options) (core.StopReason, error) {
 		if !r.stopped {
 			return r.reason, r.err // finished (or panicked) while stopping
 		}
-		return core.StopNone, &SimError{Reason: cause, Snap: r.snap, HasSnap: true}
+		return core.StopNone, &SimError{Reason: cause, Seed: opt.Seed, Snap: r.snap, HasSnap: true}
 	case <-grace.C:
 		return core.StopNone, &SimError{
 			Reason: cause + " (simulator unresponsive inside a cycle; goroutine abandoned)",
+			Seed:   opt.Seed,
 		}
 	}
 }
 
+// errSim is the optional interface a Sim implements to surface a run-
+// stopping error (the differential oracle's divergence). *core.Core
+// implements it; harness test stubs need not.
+type errSim interface{ Err() error }
+
 // classify turns a finished sim's stop reason into the Exec result:
-// truncated runs (watchdog, cycle budget) are errors with snapshots.
-func classify(sim Sim) (core.StopReason, error) {
+// truncated runs (watchdog, cycle budget, divergence) are errors with
+// snapshots.
+func classify(sim Sim, seed uint64) (core.StopReason, error) {
 	reason := sim.StopReason()
 	switch reason {
 	case core.StopWatchdog:
-		return reason, &SimError{Reason: ReasonWatchdog, Snap: sim.Snapshot(), HasSnap: true}
+		return reason, &SimError{Reason: ReasonWatchdog, Seed: seed, Snap: sim.Snapshot(), HasSnap: true}
 	case core.StopCycleBudget:
-		return reason, &SimError{Reason: ReasonCycleBudget, Snap: sim.Snapshot(), HasSnap: true}
+		return reason, &SimError{Reason: ReasonCycleBudget, Seed: seed, Snap: sim.Snapshot(), HasSnap: true}
+	case core.StopDivergence:
+		var cause error
+		if es, ok := sim.(errSim); ok {
+			cause = es.Err()
+		}
+		return reason, &SimError{Reason: ReasonDivergence, Cause: cause, Seed: seed,
+			Snap: sim.Snapshot(), HasSnap: true}
 	default:
 		return reason, nil
 	}

@@ -1,0 +1,364 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+// ShrinkResult summarizes a minimization run.
+type ShrinkResult struct {
+	Case      Case   // minimal still-failing case
+	Reason    string // preserved failure class (SimError.Reason)
+	OrigUops  int    // static uops before shrinking
+	FinalUops int    // static uops after
+	Tests     int    // candidate executions spent
+}
+
+// shrinkBudget caps candidate executions so minimization is bounded even
+// for pathological programs. ddmin is O(sites²) tests in the worst case;
+// shrunk candidates fail (and therefore stop) early, so the bound is on
+// run count, not wall-clock pain.
+const shrinkBudget = 2000
+
+// shrinkMinUops is the retirement-budget floor the knob shrinker stops at.
+const shrinkMinUops = 100
+
+// Minimize confirms a failing case is deterministic, then delta-debugs it
+// down to a minimal program and configuration that still fail the same
+// way: it removes uops (ddmin over deletable program sites), then reduces
+// the retirement budget, ROB size, and CUC capacity while the failure
+// class is preserved. The case must actually fail under RunCase with the
+// given oracle/fault settings; a passing or nondeterministic case is an
+// error. Only seed-generated or explicit-program cases have their program
+// shrunk; workload-backed cases get knob reduction only.
+func Minimize(ctx context.Context, c Case, oracleOn bool, faultName string, opt Options) (*ShrinkResult, error) {
+	res := &ShrinkResult{}
+	classOf := func(err error) string {
+		var sim *SimError
+		if errors.As(err, &sim) {
+			return sim.Reason
+		}
+		return ""
+	}
+	run := func(cand Case) string {
+		res.Tests++
+		_, err := RunCase(ctx, cand, oracleOn, faultName, opt)
+		return classOf(err)
+	}
+
+	// Confirm the failure and its determinism: two fresh runs from the
+	// recorded seed and config must fail with the same class.
+	first := run(c)
+	if first == "" {
+		return nil, fmt.Errorf("harness: minimize: case does not fail")
+	}
+	if again := run(c); again != first {
+		return nil, fmt.Errorf("harness: minimize: nondeterministic failure (%q then %q)", first, again)
+	}
+	res.Reason = first
+	fails := func(cand Case) bool { return run(cand) == first }
+
+	cur, err := c.materialize()
+	if err != nil {
+		return nil, err
+	}
+	if cur.Program != nil {
+		res.OrigUops = cur.Program.NumUops()
+		// Alternate uop-level ddmin with block-level collapse until a
+		// fixpoint: deleting uops leaves nop-only blocks, collapsing those
+		// blocks unlocks further uop deletions.
+		for prev := -1; res.Tests < shrinkBudget && cur.Program.NumUops() != prev; {
+			prev = cur.Program.NumUops()
+			cur.Program = ddmin(cur, fails, res)
+			cur.Program = dropNopBlocks(cur, fails, res)
+			if cand := dropUnreachable(cur.Program); cand != nil {
+				cc := cur
+				cc.Program = cand
+				if fails(cc) {
+					cur.Program = cand
+				}
+			}
+		}
+		res.FinalUops = cur.Program.NumUops()
+	}
+
+	// Knob shrinking: each knob is reduced while the same failure holds.
+	if cur.MaxUops == 0 {
+		cur.MaxUops = caseDefaultUops
+	}
+	for res.Tests < shrinkBudget && cur.MaxUops/2 >= shrinkMinUops {
+		cand := cur
+		cand.MaxUops = cur.MaxUops / 2
+		if !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+	for _, rob := range []int{176, 128, 64} {
+		if res.Tests >= shrinkBudget {
+			break
+		}
+		if cur.ROBSize != 0 && rob >= cur.ROBSize {
+			continue
+		}
+		cand := cur
+		cand.ROBSize = rob
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	for _, lines := range []int{64, 16} {
+		if res.Tests >= shrinkBudget {
+			break
+		}
+		if cur.CUCLines != 0 && lines >= cur.CUCLines {
+			continue
+		}
+		cand := cur
+		cand.CUCLines = lines
+		if fails(cand) {
+			cur = cand
+		}
+	}
+
+	res.Case = cur
+	return res, nil
+}
+
+// site addresses one static uop.
+type site struct{ block, idx int }
+
+// deletableSites lists the uops a candidate reduction may remove. The
+// structural terminals (jmp/ret/halt) stay: removing one would leave a
+// block falling off the program. Conditional branches and calls are fair
+// game — their blocks already record a fallthrough.
+func deletableSites(p *prog.Program) []site {
+	var out []site
+	for _, b := range p.Blocks {
+		if len(b.Uops) == 1 && b.Uops[0].Op == isa.OpNop {
+			// Placeholder nop: deleting it just re-inserts one (empty
+			// blocks are not allowed), so offering the site would let
+			// ddmin "reduce" forever without progress. Block-level
+			// collapse removes these.
+			continue
+		}
+		for i, u := range b.Uops {
+			switch u.Op {
+			case isa.OpJmp, isa.OpRet, isa.OpHalt:
+				continue
+			}
+			out = append(out, site{b.ID, i})
+		}
+	}
+	return out
+}
+
+// removeSites returns a clone of p without the given sites, or nil when
+// the reduction is structurally invalid. Emptied blocks keep a nop so the
+// CFG's block numbering (branch targets, fallthroughs) survives.
+func removeSites(p *prog.Program, del map[site]bool) *prog.Program {
+	q := p.Clone()
+	for _, b := range q.Blocks {
+		kept := make([]isa.Uop, 0, len(b.Uops))
+		for i, u := range b.Uops {
+			if !del[site{b.ID, i}] {
+				kept = append(kept, u)
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, isa.Uop{
+				Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: isa.NoTarget,
+			})
+		}
+		b.Uops = kept
+	}
+	q.AssignPCs()
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// removeNopBlock returns p without block id — only when that block holds a
+// single nop and falls through — redirecting every reference to its
+// successor and renumbering, or nil when the removal does not apply.
+func removeNopBlock(p *prog.Program, id int) *prog.Program {
+	b := p.Blocks[id]
+	if len(b.Uops) != 1 || b.Uops[0].Op != isa.OpNop {
+		return nil
+	}
+	succ := b.Fallthrough
+	if succ < 0 || succ == id {
+		return nil
+	}
+	remap := func(x int) int {
+		if x == isa.NoTarget {
+			return x
+		}
+		if x == id {
+			x = succ
+		}
+		if x > id {
+			x--
+		}
+		return x
+	}
+	q := &prog.Program{Name: p.Name, Entry: remap(p.Entry)}
+	for _, ob := range p.Blocks {
+		if ob.ID == id {
+			continue
+		}
+		nb := &prog.Block{ID: remap(ob.ID), Fallthrough: remap(ob.Fallthrough)}
+		for _, u := range ob.Uops {
+			u.Target = remap(u.Target)
+			nb.Uops = append(nb.Uops, u)
+		}
+		q.Blocks = append(q.Blocks, nb)
+	}
+	q.AssignPCs()
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// dropUnreachable returns p without the blocks unreachable from its entry
+// (uop deletion strands whole call bodies and skipped paths), or nil when
+// every block is live. Removal cannot change behaviour, but candidates
+// still go through the failure test like any other reduction.
+func dropUnreachable(p *prog.Program) *prog.Program {
+	reach := make([]bool, len(p.Blocks))
+	stack := []int{p.Entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[id] {
+			continue
+		}
+		reach[id] = true
+		b := p.Blocks[id]
+		if b.Fallthrough >= 0 {
+			stack = append(stack, b.Fallthrough)
+		}
+		for _, u := range b.Uops {
+			if u.Target >= 0 {
+				stack = append(stack, u.Target)
+			}
+		}
+	}
+	remap := make([]int, len(p.Blocks))
+	n := 0
+	for id, ok := range reach {
+		if ok {
+			remap[id] = n
+			n++
+		}
+	}
+	if n == len(p.Blocks) {
+		return nil
+	}
+	q := &prog.Program{Name: p.Name, Entry: remap[p.Entry]}
+	for _, ob := range p.Blocks {
+		if !reach[ob.ID] {
+			continue
+		}
+		ft := ob.Fallthrough
+		if ft >= 0 {
+			ft = remap[ft]
+		}
+		nb := &prog.Block{ID: remap[ob.ID], Fallthrough: ft}
+		for _, u := range ob.Uops {
+			if u.Target >= 0 {
+				u.Target = remap[u.Target]
+			}
+			nb.Uops = append(nb.Uops, u)
+		}
+		q.Blocks = append(q.Blocks, nb)
+	}
+	q.AssignPCs()
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// dropNopBlocks collapses nop-only blocks while the failure persists.
+func dropNopBlocks(c Case, fails func(Case) bool, res *ShrinkResult) *prog.Program {
+	cur := c.Program
+	for changed := true; changed && res.Tests < shrinkBudget; {
+		changed = false
+		for id := 0; id < len(cur.Blocks); id++ {
+			cand := removeNopBlock(cur, id)
+			if cand == nil {
+				continue
+			}
+			cc := c
+			cc.Program = cand
+			if fails(cc) {
+				cur = cand
+				c.Program = cur
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// ddmin is the classic delta-debugging loop over deletable sites: try to
+// delete chunks at increasing granularity, restarting coarse whenever a
+// deletion sticks, until no single site can be removed (or the test
+// budget runs out).
+func ddmin(c Case, fails func(Case) bool, res *ShrinkResult) *prog.Program {
+	cur := c.Program
+	n := 2
+	for res.Tests < shrinkBudget {
+		sites := deletableSites(cur)
+		if len(sites) == 0 {
+			break
+		}
+		if n > len(sites) {
+			n = len(sites)
+		}
+		reduced := false
+		sz := (len(sites) + n - 1) / n
+		for i := 0; i < n && res.Tests < shrinkBudget; i++ {
+			lo, hi := i*sz, (i+1)*sz
+			if lo >= len(sites) {
+				break
+			}
+			if hi > len(sites) {
+				hi = len(sites)
+			}
+			del := make(map[site]bool, hi-lo)
+			for _, s := range sites[lo:hi] {
+				del[s] = true
+			}
+			cand := removeSites(cur, del)
+			if cand == nil {
+				continue
+			}
+			cc := c
+			cc.Program = cand
+			if fails(cc) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(sites) {
+				break // single-site granularity exhausted
+			}
+			n *= 2
+		}
+	}
+	return cur
+}

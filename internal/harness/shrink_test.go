@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cdf/internal/core"
+	"cdf/internal/oracle"
+)
+
+// TestInjectedFaultCaughtShrunkAndReplayed is the PR's acceptance path
+// end to end: an injected commit bug is caught as a *DivergenceError,
+// delta-debugged to a small repro (≤ 25% of the original program), written
+// to a repro artifact, loaded back, and replayed deterministically to the
+// same divergence.
+func TestInjectedFaultCaughtShrunkAndReplayed(t *testing.T) {
+	ctx := context.Background()
+	c := Case{Seed: 7, Mode: core.ModeCDF, MaxUops: 4000}
+	const fault = "flip-dst-bit"
+
+	// The fault is caught as a divergence, with the seed stamped in.
+	_, err := RunCase(ctx, c, true, fault, Options{})
+	if !errors.Is(err, ErrDivergence) {
+		t.Fatalf("RunCase error = %v, want ErrDivergence", err)
+	}
+	var sim *SimError
+	if !errors.As(err, &sim) || sim.Seed != 7 {
+		t.Fatalf("SimError seed not stamped: %v", err)
+	}
+	var div *oracle.DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("error chain lacks *oracle.DivergenceError: %v", err)
+	}
+
+	// Shrinking: the minimal program is ≤ 25% of the generated original.
+	res, err := Minimize(ctx, c, true, fault, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonDivergence {
+		t.Fatalf("minimized failure class %q, want %q", res.Reason, ReasonDivergence)
+	}
+	if res.OrigUops == 0 || res.FinalUops > res.OrigUops/4 {
+		t.Fatalf("shrink insufficient: %d -> %d uops (want <= 25%%)", res.OrigUops, res.FinalUops)
+	}
+	if res.Case.MaxUops >= 4000 {
+		t.Fatalf("knob shrink did not reduce MaxUops: %d", res.Case.MaxUops)
+	}
+
+	// Repro round trip.
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, res.Case, fault, res.Reason, div.Error())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedFault, reason, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedFault != fault || reason != ReasonDivergence {
+		t.Fatalf("repro carries fault %q reason %q", loadedFault, reason)
+	}
+
+	// Deterministic replay: two runs of the loaded case diverge at the
+	// same commit with the same effect.
+	replay := func() *oracle.DivergenceError {
+		_, err := RunCase(ctx, loaded, true, loadedFault, Options{})
+		var d *oracle.DivergenceError
+		if !errors.As(err, &d) {
+			t.Fatalf("replay did not diverge: %v", err)
+		}
+		return d
+	}
+	d1, d2 := replay(), replay()
+	if d1.Checked != d2.Checked || d1.Got != d2.Got {
+		t.Fatalf("replay not deterministic: commit %d (%s) vs commit %d (%s)",
+			d1.Checked, d1.Got, d2.Checked, d2.Got)
+	}
+}
+
+// TestMinimizeRejectsPassingCase: a case that does not fail is an error,
+// not a silent no-op.
+func TestMinimizeRejectsPassingCase(t *testing.T) {
+	c := Case{Seed: 3, Mode: core.ModeBaseline, MaxUops: 500}
+	if _, err := Minimize(context.Background(), c, true, "", Options{}); err == nil {
+		t.Fatal("Minimize accepted a passing case")
+	}
+}
+
+// TestRunCaseBenchOracle: workload-backed cases run clean under the oracle.
+func TestRunCaseBenchOracle(t *testing.T) {
+	c := Case{Seed: 1, Mode: core.ModeCDF, MaxUops: 1000, Bench: "mcf"}
+	reason, err := RunCase(context.Background(), c, true, "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != core.StopCompleted {
+		t.Fatalf("stop reason %s", reason)
+	}
+}
+
+// TestReproRoundTripBench: bench-backed repro artifacts reload to the same
+// case.
+func TestReproRoundTripBench(t *testing.T) {
+	c := Case{Seed: 9, Mode: core.ModePRE, MaxUops: 1234, ROBSize: 128, Bench: "lbm"}
+	path, err := WriteRepro(t.TempDir(), c, "", ReasonWatchdog, "note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, fault, reason, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault != "" || reason != ReasonWatchdog {
+		t.Fatalf("fault %q reason %q", fault, reason)
+	}
+	if got.Seed != c.Seed || got.Mode != c.Mode || got.MaxUops != c.MaxUops ||
+		got.ROBSize != c.ROBSize || got.Bench != c.Bench || got.Program != nil {
+		t.Fatalf("loaded case differs: %+v vs %+v", got, c)
+	}
+}
+
+// TestSentinels: every failure class matches its errors.Is target and no
+// other.
+func TestSentinels(t *testing.T) {
+	cases := []struct {
+		reason string
+		target error
+	}{
+		{ReasonPanic, ErrPanic},
+		{ReasonTimeout, ErrTimeout},
+		{ReasonCanceled, ErrCanceled},
+		{ReasonWatchdog, ErrWatchdog},
+		{ReasonCycleBudget, ErrCycleBudget},
+		{ReasonDivergence, ErrDivergence},
+	}
+	all := []error{ErrPanic, ErrTimeout, ErrCanceled, ErrWatchdog, ErrCycleBudget, ErrDivergence}
+	for _, c := range cases {
+		err := error(&SimError{Reason: c.reason})
+		for _, target := range all {
+			if got, want := errors.Is(err, target), target == c.target; got != want {
+				t.Errorf("reason %q: errors.Is(%v) = %v, want %v", c.reason, target, got, want)
+			}
+		}
+	}
+	// The unresponsive-timeout variant still matches ErrTimeout.
+	if !errors.Is(&SimError{Reason: ReasonTimeout + " (simulator unresponsive)"}, ErrTimeout) {
+		t.Error("suffixed timeout reason does not match ErrTimeout")
+	}
+}

@@ -1,0 +1,156 @@
+// Package oracle implements the differential co-simulation oracle: a
+// reference functional emulator stepped in lockstep with the cycle core's
+// retirement stage. At every retire the core's committed architectural
+// effect — destination register value, store address and data, branch
+// direction and target, halt — is compared against the reference machine's
+// next instruction. Any mismatch stops the run with a *DivergenceError.
+//
+// The lockstep protocol leans on two core invariants. First, wrong-path
+// work never retires: retire stalls on wrong-path ROB heads until their
+// mispredicted branch flushes them, so the commit-effect stream contains
+// only architecturally real instructions. Second, CDF mode reorders only
+// fetch and execution — retirement walks the program-order-oldest head
+// across both ROB sections — so a CDF-mode run must retire the identical
+// architectural sequence as baseline. The oracle therefore needs no
+// mode-specific cases: one in-order reference machine checks every mode,
+// and any reordering CDF leaks into architectural state is a divergence.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"cdf/internal/core"
+	"cdf/internal/emu"
+	"cdf/internal/prog"
+)
+
+// DivergenceError reports a commit-time mismatch between the cycle core and
+// the reference emulator. It carries both sides of the disagreement, the
+// commit sequence number, the reference machine's architectural state, and
+// the core's diagnostic snapshot.
+type DivergenceError struct {
+	Checked  uint64   // effects verified before the divergence
+	Mismatch []string // field-level differences, "field: core X vs ref Y"
+
+	Got  core.CommitEffect // what the core committed
+	Want emu.DynUop        // what the reference machine executed
+	Ref  emu.ArchState     // reference architectural state after its step
+
+	Snap    core.Snapshot // core state at the failing retire
+	HasSnap bool
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("oracle: divergence at commit %d (core: %s): %s",
+		e.Checked, e.Got, strings.Join(e.Mismatch, "; "))
+}
+
+// Checker steps a reference emulator in lockstep with a core's retirement.
+type Checker struct {
+	ref *emu.Emulator
+	n   uint64
+	err *DivergenceError
+}
+
+// New returns a Checker for program p with initial memory m. The checker
+// clones m, so it must be constructed before the core executes its first
+// cycle (the core's lookahead emulator mutates m as it streams ahead).
+// m may be nil for programs that start from empty memory.
+func New(p *prog.Program, m *emu.Memory) *Checker {
+	if m != nil {
+		m = m.Clone()
+	}
+	return &Checker{ref: emu.New(p, m)}
+}
+
+// Attach builds a Checker and installs it as c's commit check. p and m
+// must be the program and initial memory c was built with.
+func Attach(c *core.Core, p *prog.Program, m *emu.Memory) *Checker {
+	ch := New(p, m)
+	c.SetCommitCheck(func(eff core.CommitEffect) error {
+		return ch.Check(eff, c)
+	})
+	return ch
+}
+
+// Checked returns the number of commits verified so far.
+func (ch *Checker) Checked() uint64 { return ch.n }
+
+// Err returns the divergence that stopped the run, if any.
+func (ch *Checker) Err() *DivergenceError { return ch.err }
+
+// Check compares one commit effect against the reference machine's next
+// step. c is consulted only for the diagnostic snapshot and may be nil.
+func (ch *Checker) Check(eff core.CommitEffect, c *core.Core) error {
+	if ch.err != nil {
+		return ch.err // the machine should have stopped; stay stopped
+	}
+	var want emu.DynUop
+	var mm []string
+	if !ch.ref.Step(&want) {
+		mm = []string{"core retired past program halt"}
+	} else {
+		mm = diff(eff, &want)
+	}
+	if len(mm) > 0 {
+		ch.err = &DivergenceError{
+			Checked:  ch.n,
+			Mismatch: mm,
+			Got:      eff,
+			Want:     want,
+			Ref:      ch.ref.ArchState(),
+		}
+		if c != nil {
+			ch.err.Snap = c.Snapshot()
+			ch.err.HasSnap = true
+		}
+		return ch.err
+	}
+	ch.n++
+	return nil
+}
+
+// diff lists the architectural fields in which the committed effect
+// disagrees with the reference step.
+func diff(eff core.CommitEffect, want *emu.DynUop) []string {
+	var mm []string
+	if eff.Seq != want.Seq {
+		mm = append(mm, fmt.Sprintf("seq: core %d vs ref %d", eff.Seq, want.Seq))
+	}
+	if eff.PC != want.PC {
+		mm = append(mm, fmt.Sprintf("pc: core %#x vs ref %#x", eff.PC, want.PC))
+	}
+	if eff.Op != want.U.Op {
+		mm = append(mm, fmt.Sprintf("op: core %s vs ref %s", eff.Op, want.U.Op))
+	}
+	if eff.HasDst != want.U.Op.HasDst() {
+		mm = append(mm, fmt.Sprintf("hasDst: core %v vs ref %v", eff.HasDst, want.U.Op.HasDst()))
+	} else if eff.HasDst {
+		if eff.Dst != want.U.Dst {
+			mm = append(mm, fmt.Sprintf("dst: core %s vs ref %s", eff.Dst, want.U.Dst))
+		}
+		if eff.DstValue != want.DstValue {
+			mm = append(mm, fmt.Sprintf("%s value: core %d vs ref %d", want.U.Dst, eff.DstValue, want.DstValue))
+		}
+	}
+	if want.U.Op.IsMem() && eff.Addr != want.Addr {
+		mm = append(mm, fmt.Sprintf("addr: core %#x vs ref %#x", eff.Addr, want.Addr))
+	}
+	if want.U.Op.IsStore() && eff.Data != want.Value {
+		mm = append(mm, fmt.Sprintf("store data: core %d vs ref %d", eff.Data, want.Value))
+	}
+	if want.U.Op.IsBranch() {
+		if eff.Taken != want.Taken {
+			mm = append(mm, fmt.Sprintf("taken: core %v vs ref %v", eff.Taken, want.Taken))
+		}
+		if eff.NextPC != want.NextPC {
+			mm = append(mm, fmt.Sprintf("next pc: core %#x vs ref %#x", eff.NextPC, want.NextPC))
+		}
+	}
+	if eff.Halt != want.Last {
+		mm = append(mm, fmt.Sprintf("halt: core %v vs ref %v", eff.Halt, want.Last))
+	}
+	return mm
+}

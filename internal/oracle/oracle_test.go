@@ -1,0 +1,213 @@
+package oracle_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cdf/internal/core"
+	"cdf/internal/emu"
+	"cdf/internal/oracle"
+	"cdf/internal/prog"
+	"cdf/internal/workload"
+)
+
+func smallConfig(mode core.Mode, maxUops uint64) core.Config {
+	cfg := core.Default()
+	cfg.Mode = mode
+	cfg.MaxRetired = maxUops
+	cfg.MaxCycles = maxUops * 500
+	cfg.WatchdogCycles = 50_000
+	return cfg
+}
+
+var allModes = []core.Mode{core.ModeBaseline, core.ModeCDF, core.ModePRE, core.ModeHybrid}
+
+// TestWorkloadsAgreeWithEmulator runs every workload under every machine
+// mode with the oracle attached: each retire must match the reference
+// emulator. This is the satellite "emulator↔core agreement test over every
+// workload generator at small scale".
+func TestWorkloadsAgreeWithEmulator(t *testing.T) {
+	uops := uint64(2000)
+	if testing.Short() {
+		uops = 500
+	}
+	for _, w := range workload.All() {
+		for _, mode := range allModes {
+			w, mode := w, mode
+			t.Run(w.Name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				p, m := w.Build()
+				cfg := smallConfig(mode, uops)
+				c, err := core.New(cfg, p, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ch := oracle.Attach(c, p, m)
+				c.Run()
+				if err := c.Err(); err != nil {
+					t.Fatalf("divergence: %v", err)
+				}
+				if c.StopReason() != core.StopCompleted {
+					t.Fatalf("stopped with %s:\n%s", c.StopReason(), c.Snapshot())
+				}
+				if ch.Checked() == 0 {
+					t.Fatal("oracle checked zero commits")
+				}
+			})
+		}
+	}
+}
+
+// TestGeneratedProgramsAgree runs random generated programs oracle-checked
+// in every mode.
+func TestGeneratedProgramsAgree(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		for _, mode := range allModes {
+			p, spec := prog.Generate(rand.New(rand.NewSource(seed)), "gen")
+			m := emu.BuildMemory(spec)
+			cfg := smallConfig(mode, 3000)
+			c, err := core.New(cfg, p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle.Attach(c, p, m)
+			c.Run()
+			if err := c.Err(); err != nil {
+				t.Fatalf("seed %d mode %s: %v", seed, mode, err)
+			}
+			if c.StopReason() != core.StopCompleted {
+				t.Fatalf("seed %d mode %s: stopped with %s", seed, mode, c.StopReason())
+			}
+		}
+	}
+}
+
+// recordEffects runs bench under mode and returns the commit-effect stream.
+func recordEffects(t *testing.T, w workload.Workload, mode core.Mode, uops uint64) []core.CommitEffect {
+	t.Helper()
+	p, m := w.Build()
+	cfg := smallConfig(mode, uops)
+	c, err := core.New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var effs []core.CommitEffect
+	c.SetCommitCheck(func(e core.CommitEffect) error {
+		e.Critical = false // criticality is microarchitectural, not architectural
+		effs = append(effs, e)
+		return nil
+	})
+	c.Run()
+	if c.StopReason() != core.StopCompleted {
+		t.Fatalf("%s/%s stopped with %s", w.Name, mode, c.StopReason())
+	}
+	return effs
+}
+
+// TestCDFRetiresBaselineSequence asserts the property the oracle's design
+// rests on: CDF mode (and PRE/hybrid) retires the identical architectural
+// effect sequence as the baseline machine, uop for uop.
+func TestCDFRetiresBaselineSequence(t *testing.T) {
+	names := []string{"mcf", "lbm", "omnetpp"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := recordEffects(t, w, core.ModeBaseline, 1500)
+		for _, mode := range []core.Mode{core.ModeCDF, core.ModePRE, core.ModeHybrid} {
+			got := recordEffects(t, w, mode, 1500)
+			if len(got) != len(base) {
+				t.Fatalf("%s/%s: %d commits vs baseline %d", name, mode, len(got), len(base))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], base[i]) {
+					t.Fatalf("%s/%s: commit %d differs:\n%s\nvs baseline\n%s",
+						name, mode, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInjectedFaultCaught plants commit bugs through the test-only fault
+// hook and asserts each is rejected as a *DivergenceError.
+func TestInjectedFaultCaught(t *testing.T) {
+	faults := map[string]func(*core.CommitEffect){
+		"register value": func(e *core.CommitEffect) {
+			if e.HasDst {
+				e.DstValue ^= 1
+			}
+		},
+		"store data": func(e *core.CommitEffect) {
+			if e.Op.IsStore() {
+				e.Data += 7
+			}
+		},
+		"store address": func(e *core.CommitEffect) {
+			if e.Op.IsStore() {
+				e.Addr += 8
+			}
+		},
+		"branch direction": func(e *core.CommitEffect) {
+			if e.Op.IsCondBranch() {
+				e.Taken = !e.Taken
+			}
+		},
+		"skipped commit": func(e *core.CommitEffect) {
+			e.Seq++
+		},
+	}
+	w, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fault := range faults {
+		t.Run(name, func(t *testing.T) {
+			p, m := w.Build()
+			c, err := core.New(smallConfig(core.ModeCDF, 2000), p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle.Attach(c, p, m)
+			c.SetCommitFault(fault)
+			c.Run()
+			if c.StopReason() != core.StopDivergence {
+				t.Fatalf("fault not caught: stopped with %s after %d uops",
+					c.StopReason(), c.Retired())
+			}
+			var div *oracle.DivergenceError
+			if !errors.As(c.Err(), &div) {
+				t.Fatalf("Err() = %v (%T), want *oracle.DivergenceError", c.Err(), c.Err())
+			}
+			if len(div.Mismatch) == 0 || !div.HasSnap {
+				t.Fatalf("divergence lacks detail: %v", div)
+			}
+		})
+	}
+}
+
+// TestCheckerStopsAfterDivergence: once diverged, the checker keeps
+// returning the same error rather than resynchronizing.
+func TestCheckerStopsAfterDivergence(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	p, m := w.Build()
+	ch := oracle.New(p, m)
+	bad := core.CommitEffect{Seq: 42}
+	err1 := ch.Check(bad, nil)
+	if err1 == nil {
+		t.Fatal("bad effect accepted")
+	}
+	if err2 := ch.Check(bad, nil); err2 != err1 {
+		t.Fatalf("second check returned %v, want the original divergence", err2)
+	}
+}

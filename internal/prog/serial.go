@@ -1,0 +1,129 @@
+package prog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cdf/internal/isa"
+)
+
+// SerialVersion is the program wire-format version. Decode rejects other
+// versions so stale repro artifacts fail loudly instead of misparsing.
+const SerialVersion = 1
+
+// Opcodes are serialized by mnemonic and registers by number (-1 = absent),
+// so artifacts survive opcode renumbering and stay greppable.
+type serialUop struct {
+	Op     string `json:"op"`
+	Dst    int    `json:"dst"`
+	Src1   int    `json:"src1"`
+	Src2   int    `json:"src2"`
+	Imm    int64  `json:"imm,omitempty"`
+	Target int    `json:"target"`
+}
+
+type serialBlock struct {
+	ID          int         `json:"id"`
+	Fallthrough int         `json:"fallthrough"`
+	Uops        []serialUop `json:"uops"`
+}
+
+type serialProgram struct {
+	Version int           `json:"version"`
+	Name    string        `json:"name"`
+	Entry   int           `json:"entry"`
+	Blocks  []serialBlock `json:"blocks"`
+}
+
+func regOut(r isa.Reg) int {
+	if !r.Valid() {
+		return -1
+	}
+	return int(r)
+}
+
+func regIn(v int) isa.Reg {
+	if v < 0 {
+		return isa.NoReg
+	}
+	return isa.Reg(v)
+}
+
+// Encode serializes the program as versioned JSON. The program must be
+// valid; Decode reconstructs an identical program (same blocks, same PCs).
+func (p *Program) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prog: encode: %w", err)
+	}
+	sp := serialProgram{Version: SerialVersion, Name: p.Name, Entry: p.Entry}
+	for _, b := range p.Blocks {
+		sb := serialBlock{ID: b.ID, Fallthrough: b.Fallthrough}
+		for _, u := range b.Uops {
+			sb.Uops = append(sb.Uops, serialUop{
+				Op:     u.Op.String(),
+				Dst:    regOut(u.Dst),
+				Src1:   regOut(u.Src1),
+				Src2:   regOut(u.Src2),
+				Imm:    u.Imm,
+				Target: u.Target,
+			})
+		}
+		sp.Blocks = append(sp.Blocks, sb)
+	}
+	return json.MarshalIndent(sp, "", " ")
+}
+
+// Decode parses a program serialized by Encode, assigns PCs, and validates
+// it. Any structural problem — unknown opcode, bad block reference, version
+// mismatch — is an error, never a partially-built program.
+func Decode(data []byte) (*Program, error) {
+	var sp serialProgram
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, fmt.Errorf("prog: decode: %w", err)
+	}
+	if sp.Version != SerialVersion {
+		return nil, fmt.Errorf("prog: decode: version %d, want %d", sp.Version, SerialVersion)
+	}
+	p := &Program{Name: sp.Name, Entry: sp.Entry}
+	for i, sb := range sp.Blocks {
+		if sb.ID != i {
+			return nil, fmt.Errorf("prog: decode: block %d has ID %d", i, sb.ID)
+		}
+		blk := &Block{ID: sb.ID, Fallthrough: sb.Fallthrough}
+		for j, su := range sb.Uops {
+			op, ok := isa.OpByName(su.Op)
+			if !ok {
+				return nil, fmt.Errorf("prog: decode: B%d[%d]: unknown opcode %q", i, j, su.Op)
+			}
+			blk.Uops = append(blk.Uops, isa.Uop{
+				Op:     op,
+				Dst:    regIn(su.Dst),
+				Src1:   regIn(su.Src1),
+				Src2:   regIn(su.Src2),
+				Imm:    su.Imm,
+				Target: su.Target,
+			})
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+	p.AssignPCs()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prog: decode: %w", err)
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the program with PCs assigned. The shrinker
+// mutates clones so candidate reductions never alias the original.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Entry: p.Entry, Blocks: make([]*Block, len(p.Blocks))}
+	for i, b := range p.Blocks {
+		q.Blocks[i] = &Block{
+			ID:          b.ID,
+			Uops:        append([]isa.Uop(nil), b.Uops...),
+			Fallthrough: b.Fallthrough,
+		}
+	}
+	q.AssignPCs()
+	return q
+}

@@ -1,0 +1,34 @@
+package report
+
+import "fmt"
+
+// Failure is one failed run in a sweep, reduced to what a results document
+// should show: where it happened, how it was classified, and the seed that
+// replays it. Detail carries the one-line diagnostic (e.g. a divergence's
+// first mismatched field).
+type Failure struct {
+	Benchmark string
+	Mode      string
+	Reason    string // harness failure class: panic, watchdog, divergence, ...
+	Seed      uint64 // 0 = not seed-driven
+	Detail    string
+}
+
+// FailureTable renders failed runs as a table, so partial sweeps surface
+// their casualties explicitly next to the figures instead of silently
+// thinning the rows. A zero seed renders as n/a rather than a replayable 0.
+func FailureTable(fails []Failure) *Table {
+	t := &Table{
+		Title:   "Failed runs",
+		Note:    "these runs are excluded from every aggregate above",
+		Columns: []string{"benchmark", "mode", "reason", "seed", "detail"},
+	}
+	for _, f := range fails {
+		seed := NA
+		if f.Seed != 0 {
+			seed = fmt.Sprintf("%d", f.Seed)
+		}
+		t.AddRow(f.Benchmark, f.Mode, f.Reason, seed, f.Detail)
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFormattersGuardNonFinite: NaN/Inf from a partial sweep renders as
+// "n/a", never as a number-shaped string.
+func TestFormattersGuardNonFinite(t *testing.T) {
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bads {
+		if got := Pct(v); got != NA {
+			t.Errorf("Pct(%v) = %q, want %q", v, got, NA)
+		}
+		if got := Rel(v); got != NA {
+			t.Errorf("Rel(%v) = %q, want %q", v, got, NA)
+		}
+		if got := Frac(v); got != NA {
+			t.Errorf("Frac(%v) = %q, want %q", v, got, NA)
+		}
+	}
+}
+
+// TestFailureTableGolden pins the exact rendering of a failure table with a
+// divergence and a watchdog row — the two failure classes a results
+// document must make unmissable.
+func TestFailureTableGolden(t *testing.T) {
+	tb := FailureTable([]Failure{
+		{Benchmark: "mcf", Mode: "cdf", Reason: "divergence", Seed: 7,
+			Detail: "commit 41: dst value 12 != 13"},
+		{Benchmark: "lbm", Mode: "pre", Reason: "watchdog", Detail: "no retirement for 100000 cycles"},
+	})
+
+	wantText := "=== Failed runs ===\n" +
+		"benchmark  mode      reason  seed                           detail\n" +
+		"mcf         cdf  divergence     7    commit 41: dst value 12 != 13\n" +
+		"lbm         pre    watchdog   n/a  no retirement for 100000 cycles\n" +
+		"(these runs are excluded from every aggregate above)\n"
+	if got := tb.Text(); got != wantText {
+		t.Errorf("Text golden mismatch:\ngot:\n%s\nwant:\n%s", got, wantText)
+	}
+
+	wantMD := "## Failed runs\n\n" +
+		"| benchmark | mode | reason | seed | detail |\n" +
+		"| --- | ---: | ---: | ---: | ---: |\n" +
+		"| mcf | cdf | divergence | 7 | commit 41: dst value 12 != 13 |\n" +
+		"| lbm | pre | watchdog | n/a | no retirement for 100000 cycles |\n" +
+		"\n*these runs are excluded from every aggregate above*\n"
+	if got := tb.Markdown(); got != wantMD {
+		t.Errorf("Markdown golden mismatch:\ngot:\n%s\nwant:\n%s", got, wantMD)
+	}
+}
+
+// TestFailureTableEmpty: an empty failure list still renders a header-only
+// table (callers skip it, but rendering must not panic or mis-shape).
+func TestFailureTableEmpty(t *testing.T) {
+	tb := FailureTable(nil)
+	if got := len(tb.Rows); got != 0 {
+		t.Fatalf("rows = %d", got)
+	}
+	if _, err := tb.Render("csv"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -26,14 +27,36 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
+// NA is what the numeric formatters render for a value that does not
+// exist — a NaN or infinity leaking out of a partial sweep must read as
+// "no data", never as a number.
+const NA = "n/a"
+
 // Pct formats a speedup ratio as a signed percentage ("+6.1%").
-func Pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
+func Pct(ratio float64) string {
+	if bad(ratio) {
+		return NA
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+}
 
 // Rel formats a relative value ("0.97x").
-func Rel(v float64) string { return fmt.Sprintf("%.2fx", v) }
+func Rel(v float64) string {
+	if bad(v) {
+		return NA
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
 
 // Frac formats a fraction as a percentage ("31.8%").
-func Frac(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func Frac(v float64) string {
+	if bad(v) {
+		return NA
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // Text renders the table with aligned columns.
 func (t *Table) Text() string {

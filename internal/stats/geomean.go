@@ -1,0 +1,30 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoSamples is returned by Geomean for an empty input: a partial sweep
+// that produced no usable rows must surface as an explicit failure, not as
+// a silent zero in a results table.
+var ErrNoSamples = errors.New("stats: geomean of no samples")
+
+// Geomean returns the geometric mean of vs. Every sample must be a
+// positive finite number; a zero, negative, NaN, or infinite sample (the
+// signature of a truncated or failed run leaking into an aggregate) is an
+// error rather than a NaN that would propagate into report tables.
+func Geomean(vs []float64) (float64, error) {
+	if len(vs) == 0 {
+		return 0, ErrNoSamples
+	}
+	sum := 0.0
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return 0, fmt.Errorf("stats: geomean sample %d is %v; need positive finite values", i, v)
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs))), nil
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []float64
+		want    float64
+		wantErr bool
+		sentin  error // non-nil: errors.Is must match
+	}{
+		{name: "empty", in: nil, wantErr: true, sentin: ErrNoSamples},
+		{name: "empty-slice", in: []float64{}, wantErr: true, sentin: ErrNoSamples},
+		{name: "single", in: []float64{3}, want: 3},
+		{name: "pair", in: []float64{2, 8}, want: 4},
+		{name: "ones", in: []float64{1, 1, 1}, want: 1},
+		{name: "ratios", in: []float64{0.5, 2}, want: 1},
+		{name: "zero-ipc-row", in: []float64{1.1, 0, 0.9}, wantErr: true},
+		{name: "negative", in: []float64{1, -2}, wantErr: true},
+		{name: "nan-row", in: []float64{1, math.NaN()}, wantErr: true},
+		{name: "inf-row", in: []float64{math.Inf(1), 2}, wantErr: true},
+		{name: "neg-inf-row", in: []float64{math.Inf(-1)}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Geomean(c.in)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Geomean(%v) = %v, want error", c.in, got)
+				}
+				if c.sentin != nil && !errors.Is(err, c.sentin) {
+					t.Fatalf("Geomean(%v) error %v does not match %v", c.in, err, c.sentin)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Geomean(%v): %v", c.in, err)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestGeomeanErrorNamesSample: the error pinpoints which sample was bad, so
+// a sweep failure report identifies the offending row.
+func TestGeomeanErrorNamesSample(t *testing.T) {
+	_, err := Geomean([]float64{1.5, 0, 2})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); got != "stats: geomean sample 1 is 0; need positive finite values" {
+		t.Fatalf("error text %q", got)
+	}
+}

@@ -22,7 +22,10 @@ func renderFig13(t *testing.T, rows []Fig13Row) string {
 	for _, r := range rows {
 		tab.AddRow(r.Benchmark, report.Pct(r.CDFSpeedup), report.Pct(r.PRESpeedup))
 	}
-	cg, pg := Fig13Geomean(rows)
+	cg, pg, err := Fig13Geomean(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tab.AddRow("geomean", report.Pct(cg), report.Pct(pg))
 	out, err := tab.Render("text")
 	if err != nil {
@@ -109,6 +112,55 @@ func TestSweepCancellation(t *testing.T) {
 	}
 	if len(rows) != 0 {
 		t.Fatalf("pre-canceled sweep produced rows: %+v", rows)
+	}
+}
+
+// TestSuiteOracleClean: a short sweep with the differential oracle
+// checking every retired uop completes with zero divergences.
+func TestSuiteOracleClean(t *testing.T) {
+	o := SuiteOptions{
+		Benchmarks: []string{"astar", "mcf", "lbm"},
+		MaxUops:    10_000,
+		Seed:       1,
+		Oracle:     true,
+	}
+	if _, err := Fig13Speedup(o); err != nil {
+		t.Fatalf("oracle-checked sweep failed: %v", err)
+	}
+}
+
+// TestSweepErrorSentinels: failure classes inside a SweepError stay
+// reachable with errors.Is/As through the multi-error unwrap chain, and
+// the failing run's seed survives the wrapping.
+func TestSweepErrorSentinels(t *testing.T) {
+	err := (&SweepError{Failures: []RunError{
+		{Benchmark: "mcf", Mode: ModeCDF,
+			Err: &harness.SimError{Reason: harness.ReasonDivergence, Seed: 7}},
+	}}).orNil()
+	if !errors.Is(err, harness.ErrDivergence) {
+		t.Fatalf("SweepError does not expose ErrDivergence: %v", err)
+	}
+	if errors.Is(err, harness.ErrWatchdog) {
+		t.Fatal("SweepError matches the wrong sentinel")
+	}
+	var sim *harness.SimError
+	if !errors.As(err, &sim) || sim.Seed != 7 {
+		t.Fatalf("seed lost through the sweep wrap: %v", err)
+	}
+}
+
+// TestRunSeedStamped: the run seed is embedded in failure reports.
+func TestRunSeedStamped(t *testing.T) {
+	_, err := Run("mcf", Options{Mode: ModeCDF, MaxUops: 2_000_000, Seed: 42, Timeout: time.Microsecond})
+	if err == nil {
+		t.Skip("run finished inside the timeout; machine too fast to test this")
+	}
+	var sim *harness.SimError
+	if !errors.As(err, &sim) {
+		t.Fatalf("err = %v, want *SimError", err)
+	}
+	if sim.Seed != 42 {
+		t.Fatalf("SimError seed = %d, want 42", sim.Seed)
 	}
 }
 

@@ -38,7 +38,10 @@ func TestShapeFig13HeadlineOrdering(t *testing.T) {
 		t.Skip("shape tests are slow")
 	}
 	rows := fig13(t)
-	cdfGeo, preGeo := Fig13Geomean(rows)
+	cdfGeo, preGeo, err := Fig13Geomean(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// The paper's headline: CDF improves the geomean (6.1%) and beats PRE
 	// (2.6%). We require: both machines positive overall, CDF ahead, and
@@ -117,7 +120,7 @@ func TestShapeFig15TrafficOrdering(t *testing.T) {
 		cs = append(cs, r.CDFTrafficRel)
 		ps = append(ps, r.PRETrafficRel)
 	}
-	cg, pg := Geomean(cs), Geomean(ps)
+	cg, pg := geo(t, cs), geo(t, ps)
 	// Fig. 15: CDF's traffic stays near the baseline; PRE adds traffic.
 	if cg > 1.05 {
 		t.Fatalf("CDF traffic %.3fx should stay near baseline", cg)
@@ -143,7 +146,7 @@ func TestShapeFig16EnergyOrdering(t *testing.T) {
 		cs = append(cs, r.CDFEnergyRel)
 		ps = append(ps, r.PREEnergyRel)
 	}
-	cg, pg := Geomean(cs), Geomean(ps)
+	cg, pg := geo(t, cs), geo(t, ps)
 	// Fig. 16: CDF saves energy (paper: 0.965x); PRE spends more (1.037x).
 	if cg >= 1.0 {
 		t.Fatalf("CDF energy %.3fx should be below baseline", cg)
@@ -206,7 +209,7 @@ func TestShapeAblationCriticalBranches(t *testing.T) {
 		full = append(full, r.CDFSpeedup)
 		nobr = append(nobr, r.NoCritBranchSpeedup)
 	}
-	fg, ng := Geomean(full), Geomean(nobr)
+	fg, ng := geo(t, full), geo(t, nobr)
 	// §4.2: disabling critical-branch marking costs real speedup
 	// (6.1% -> 3.8% in the paper).
 	if ng >= fg {
