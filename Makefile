@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke oracle-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke bench bench-smoke ci clean
 
 all: build
 
@@ -32,6 +32,23 @@ fuzz-smoke:
 # the pass condition (a fixed seed keeps the run reproducible).
 oracle-smoke: build
 	$(GO) run ./cmd/cdfexperiments -exp fig13 -uops 20000 -seed 1 -oracle
+
+# Simulator-throughput benchmarks (DESIGN.md §9): the full mode x kernel
+# matrix, reporting uops/s, cycles/s, and allocations. To compare two
+# revisions, save each run and feed the pair to benchstat:
+#   make bench > old.txt ... make bench > new.txt
+#   benchstat old.txt new.txt
+# BenchmarkSimSpeedSlow is the same matrix on the -slowpath reference loop.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchmem -count 1 .
+
+# One quick iteration per (mode, kernel) pair, then the per-cycle
+# zero-allocation pin: a regression that makes the steady-state loop
+# allocate fails this target, not just slows it down. CI runs this on every
+# push and uploads bench-smoke.txt as the build's benchmark artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchtime 1x -benchmem . | tee bench-smoke.txt
+	$(GO) test ./internal/core -run TestSteadyStateAllocs -count 1
 
 ci: vet build test race fuzz-smoke oracle-smoke
 

@@ -1,0 +1,100 @@
+package cdf
+
+// BenchmarkSimSpeed is the simulator-throughput benchmark behind
+// `make bench` and the CI bench-smoke job: every suite kernel on every
+// machine mode, reporting simulated uops per wall-clock second, cycles per
+// second, and (via -benchmem) allocations per run. BENCH_sim.json records
+// the before/after numbers for the hot-path optimisation PR.
+//
+//	go test -run '^$' -bench BenchmarkSimSpeed -benchmem
+//
+// One iteration is one complete simulation of benchSimUops instructions,
+// so allocs/op is allocations per simulated region, not per cycle (the
+// per-cycle zero-allocation property is pinned separately by
+// TestSteadyStateAllocs in internal/core).
+
+import (
+	"fmt"
+	"testing"
+
+	"cdf/internal/core"
+	"cdf/internal/workload"
+)
+
+// benchSimUops is one iteration's instruction budget: long enough to reach
+// steady state (several fill-buffer epochs), short enough that the full
+// mode x kernel matrix stays affordable.
+const benchSimUops = 20_000
+
+// simModes is the benchmark's machine-mode axis.
+var simModes = []struct {
+	name string
+	mode core.Mode
+}{
+	{"baseline", core.ModeBaseline},
+	{"cdf", core.ModeCDF},
+	{"pre", core.ModePRE},
+	{"hybrid", core.ModeHybrid},
+}
+
+// runSimOnce simulates one kernel for benchSimUops uops and returns the
+// cycle count. It drives core.Cycle directly (no harness goroutine, no
+// energy model) so the benchmark measures the simulator loop itself.
+func runSimOnce(b *testing.B, w workload.Workload, mode core.Mode, slow bool) uint64 {
+	p, m := w.Build()
+	cfg := core.Default()
+	cfg.Mode = mode
+	cfg.MaxRetired = benchSimUops
+	cfg.MaxCycles = benchSimUops * 100
+	cfg.Seed = 1
+	cfg.SlowPath = slow
+	c, err := core.New(cfg, p, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for !c.Finished() {
+		c.Cycle()
+	}
+	if c.StopReason() != core.StopCompleted {
+		b.Fatalf("%s/%s stopped: %s", w.Name, mode, c.StopReason())
+	}
+	return c.Cycles()
+}
+
+// BenchmarkSimSpeed measures simulator throughput for every (mode, kernel)
+// pair in the default suite. The headline metric is uops/s.
+func BenchmarkSimSpeed(b *testing.B) {
+	for _, mm := range simModes {
+		for _, w := range workload.All() {
+			b.Run(fmt.Sprintf("%s/%s", mm.name, w.Name), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					cycles = runSimOnce(b, w, mm.mode, false)
+				}
+				secs := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(benchSimUops)/secs, "uops/s")
+				b.ReportMetric(float64(cycles)/secs, "cycles/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSimSpeedSlow is the same matrix on the -slowpath reference
+// loop, for fast-vs-slow comparisons with benchstat.
+func BenchmarkSimSpeedSlow(b *testing.B) {
+	for _, mm := range simModes {
+		for _, w := range workload.All() {
+			b.Run(fmt.Sprintf("%s/%s", mm.name, w.Name), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					cycles = runSimOnce(b, w, mm.mode, true)
+				}
+				secs := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(benchSimUops)/secs, "uops/s")
+				b.ReportMetric(float64(cycles)/secs, "cycles/s")
+			})
+		}
+	}
+}

@@ -113,6 +113,12 @@ type Options struct {
 	// aborts the run with a *harness.SimError whose cause is the
 	// *oracle.DivergenceError carrying both machines' states.
 	Oracle bool
+
+	// SlowPath runs the reference cycle loop instead of the optimised
+	// scheduler and event-driven idle skip (core.Config.SlowPath). The two
+	// paths produce bit-identical results; this exists for the -slowpath
+	// CLI flag, equivalence tests, and benchmarking the unoptimised loop.
+	SlowPath bool
 }
 
 // DefaultMaxUops is the per-run instruction budget when Options.MaxUops is
@@ -183,6 +189,7 @@ func (o Options) coreConfig() core.Config {
 		cfg.CDF.CUCLines = o.CUCKB * 1024 / 64
 	}
 	cfg.TrainCriticality = o.TrainCriticality
+	cfg.SlowPath = o.SlowPath
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}

@@ -32,6 +32,7 @@ import (
 
 	"cdf"
 	"cdf/internal/harness"
+	"cdf/internal/profiling"
 	"cdf/internal/report"
 )
 
@@ -77,8 +78,20 @@ func main() {
 		paranoid = flag.Bool("paranoid", false, "run invariant checks inside every simulation (~2x slower)")
 		oracle   = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		slowPath   = flag.Bool("slowpath", false, "run the reference cycle loop (no scoreboard scheduler or idle skip)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	if *list {
 		for _, e := range experiments {
@@ -107,6 +120,7 @@ func main() {
 		Timeout:    *timeout,
 		Paranoid:   *paranoid,
 		Oracle:     *oracle,
+		SlowPath:   *slowPath,
 		Context:    ctx,
 	}
 	ran, failed := false, false
@@ -141,6 +155,7 @@ func main() {
 		os.Exit(2)
 	}
 	if failed {
+		profStop()
 		os.Exit(1)
 	}
 }

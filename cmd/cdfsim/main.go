@@ -28,6 +28,7 @@ import (
 	"cdf/internal/core"
 	"cdf/internal/harness"
 	"cdf/internal/oracle"
+	"cdf/internal/profiling"
 	"cdf/internal/workload"
 )
 
@@ -48,8 +49,20 @@ func main() {
 		paranoid = flag.Bool("paranoid", false, "run invariant checks during the simulation (~2x slower)")
 		oracleOn = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
 		repro    = flag.String("repro", "", "replay a repro artifact written by the failure minimizer, then exit")
+
+		slowPath   = flag.Bool("slowpath", false, "run the reference cycle loop (no scoreboard scheduler or idle skip)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdfsim:", err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	if *prtCfg {
 		fmt.Print(cdf.Table1Config())
@@ -81,6 +94,7 @@ func main() {
 		Timeout:    *timeout,
 		Paranoid:   *paranoid,
 		Oracle:     *oracleOn,
+		SlowPath:   *slowPath,
 	}
 	switch *mode {
 	case "baseline":
@@ -109,6 +123,7 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdfsim:", err)
 		printFailureDetail(os.Stderr, err)
+		profStop()
 		os.Exit(1)
 	}
 
@@ -143,6 +158,7 @@ func runTraced(bench string, opt cdf.Options, n int) {
 		cfg.MaxRetired = cdf.DefaultMaxUops
 	}
 	cfg.MaxCycles = cfg.MaxRetired * 100
+	cfg.SlowPath = opt.SlowPath
 	if opt.ROBSize > 0 {
 		cfg = core.ScaleWindow(cfg, opt.ROBSize)
 	}

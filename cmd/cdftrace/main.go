@@ -18,6 +18,7 @@ import (
 	"cdf/internal/core"
 	"cdf/internal/emu"
 	"cdf/internal/harness"
+	"cdf/internal/profiling"
 	"cdf/internal/workload"
 )
 
@@ -28,8 +29,19 @@ func main() {
 		dyn    = flag.Int("dyn", 32, "number of dynamic uops to dump")
 		skip   = flag.Uint64("skip", 20000, "dynamic uops to skip before dumping")
 		train  = flag.Uint64("train", 60000, "uops of CDF training before reading criticality marks")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdftrace:", err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	w, err := workload.ByName(*bench)
 	if err != nil {

@@ -44,6 +44,9 @@ type SuiteOptions struct {
 	// (see Options.Oracle); a divergence fails that run and is reported
 	// through the sweep's *SweepError.
 	Oracle bool
+	// SlowPath runs every simulation on the reference cycle loop (see
+	// Options.SlowPath); results are bit-identical either way.
+	SlowPath bool
 	// Context cancels the sweep (nil = context.Background). Runs already
 	// finished when the context fires are kept, so partial tables can
 	// still be rendered after e.g. a SIGINT.
@@ -76,6 +79,7 @@ func (o SuiteOptions) runOptions() Options {
 		Timeout:    o.Timeout,
 		Paranoid:   o.Paranoid,
 		Oracle:     o.Oracle,
+		SlowPath:   o.SlowPath,
 	}
 }
 

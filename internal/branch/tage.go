@@ -42,6 +42,11 @@ type tageEntry struct {
 	useful uint8
 }
 
+// maxTageTables bounds NumTables so PredInfo can carry per-table lookup
+// state in fixed arrays: Predict runs on the fetch hot path and must not
+// allocate.
+const maxTageTables = 16
+
 // PredInfo carries the lookup state needed for a correct TAGE update.
 type PredInfo struct {
 	provider  int  // table index of provider, -1 for bimodal
@@ -49,8 +54,8 @@ type PredInfo struct {
 	provPred  bool // provider prediction
 	provIdx   uint32
 	provTag   uint32
-	indices   []uint32
-	tags      []uint32
+	indices   [maxTageTables]uint32
+	tags      [maxTageTables]uint32
 	bimodalIx uint32
 	Pred      bool // final prediction
 }
@@ -74,8 +79,8 @@ type Tage struct {
 
 // NewTage builds a TAGE predictor.
 func NewTage(cfg TageConfig) *Tage {
-	if cfg.NumTables <= 0 || cfg.MinHist <= 0 || cfg.MaxHist < cfg.MinHist {
-		panic(fmt.Sprintf("branch: invalid TAGE config %+v", cfg))
+	if cfg.NumTables <= 0 || cfg.NumTables > maxTageTables || cfg.MinHist <= 0 || cfg.MaxHist < cfg.MinHist {
+		panic(fmt.Sprintf("branch: invalid TAGE config %+v (NumTables must be 1..%d)", cfg, maxTageTables))
 	}
 	t := &Tage{
 		cfg:     cfg,
@@ -162,8 +167,6 @@ func (t *Tage) Predict(pc uint64) PredInfo {
 	t.Lookups++
 	info := PredInfo{
 		provider:  -1,
-		indices:   make([]uint32, t.cfg.NumTables),
-		tags:      make([]uint32, t.cfg.NumTables),
 		bimodalIx: t.bimodalIndex(pc),
 	}
 	bim := t.bimodal[info.bimodalIx] >= 0

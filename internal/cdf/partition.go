@@ -144,3 +144,22 @@ func (p *Partition) SetDesired(crit int) {
 
 // Desired returns the target critical capacity (for tests).
 func (p *Partition) Desired() int { return p.desired }
+
+// Stalls returns the two stall counters (critical, non-critical). The
+// core's idle-skip uses them to bound how many stalled cycles it may
+// replay before a NoteStall threshold crossing would resize the partition.
+func (p *Partition) Stalls() (crit, nonCrit uint64) { return p.critStalls, p.nonCritStalls }
+
+// StallThresh returns the resize threshold.
+func (p *Partition) StallThresh() uint64 { return p.stallThresh }
+
+// AddStalls bulk-applies k idle cycles' worth of NoteStall deltas (dc
+// critical and dn non-critical stalls per cycle). The caller guarantees no
+// threshold crossing occurs within the k cycles.
+func (p *Partition) AddStalls(dc, dn, k uint64) {
+	if p.Frozen {
+		return
+	}
+	p.critStalls += dc * k
+	p.nonCritStalls += dn * k
+}

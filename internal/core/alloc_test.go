@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cdf/internal/workload"
+)
+
+// TestSteadyStateAllocs pins the allocation discipline of the cycle loop:
+// after warm-up, Cycle() must not heap-allocate at all (non-traced,
+// non-paranoid). Entry recycling, the scoreboard scheduler, and the sorted
+// MSHR tables exist precisely so the steady state is allocation-free; any
+// regression here shows up as a nonzero average.
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs a long warm-up")
+	}
+	for _, mode := range []Mode{ModeBaseline, ModeCDF} {
+		mode := mode
+		t.Run(fmt.Sprintf("%v", mode), func(t *testing.T) {
+			w, err := workload.ByName("astar")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, m := w.Build()
+			cfg := Default()
+			cfg.Mode = mode
+			cfg.MaxRetired = 0 // run forever; the test stops itself
+			cfg.MaxCycles = 0
+			cfg.Seed = 1
+			c, err := New(cfg, p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: grow every pool, queue, and emulated-memory page to
+			// its steady-state footprint.
+			for i := 0; i < 200_000 && !c.Finished(); i++ {
+				c.Cycle()
+			}
+			if c.Finished() {
+				t.Fatalf("workload finished during warm-up (%d cycles)", c.Cycles())
+			}
+			avg := testing.AllocsPerRun(2000, func() { c.Cycle() })
+			if avg != 0 {
+				t.Errorf("steady-state Cycle() allocates: %v allocs/cycle", avg)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"cdf/internal/isa"
@@ -90,8 +91,8 @@ func (c *Core) noteCritHogging() {
 // allocCritical renames and allocates uops from the critical instruction
 // buffer, returning the remaining width budget.
 func (c *Core) allocCritical(budget int) int {
-	for budget > 0 && len(c.critQ) > 0 && c.critQ[0].at <= c.now {
-		e := c.critQ[0].e
+	for budget > 0 && c.critQ.len() > 0 && c.critQ.items[0].at <= c.now {
+		e := c.critQ.items[0].e
 
 		// Fork the critical RAT once all pre-entry uops have renamed.
 		if !c.rf.critForked {
@@ -133,7 +134,7 @@ func (c *Core) allocCritical(budget int) int {
 			if c.rf.freeCount() == 0 || c.rf.critInFlight >= c.critPRFLimit() {
 				break
 			}
-			if len(c.cmq) >= c.cfg.CDF.CMQSize {
+			if c.cmq.len() >= c.cfg.CDF.CMQSize {
 				break
 			}
 		}
@@ -152,14 +153,14 @@ func (c *Core) allocCritical(budget int) int {
 				c.rf.critRAT[u.Dst] = p
 				e.dstPhys = p
 				c.rf.critInFlight++
-				c.cmq = append(c.cmq, e)
+				c.cmq.push(e)
 			}
 		}
 		e.critRenamed = true
 		c.traceEvent("rename", e, "critical")
 
 		c.dispatch(e)
-		c.critQ = c.critQ[:copy(c.critQ, c.critQ[1:])]
+		c.critQ.popHead()
 		budget--
 	}
 	return budget
@@ -168,8 +169,8 @@ func (c *Core) allocCritical(budget int) int {
 // allocRegular renames/replays and allocates uops from the regular decode
 // pipe in program order.
 func (c *Core) allocRegular(budget int) {
-	for budget > 0 && len(c.fetchQ) > 0 && c.fetchQ[0].at <= c.now {
-		e := c.fetchQ[0].e
+	for budget > 0 && c.fetchQ.len() > 0 && c.fetchQ.items[0].at <= c.now {
+		e := c.fetchQ.items[0].e
 
 		if e.isReplay {
 			// Replay a critical uop's rename to keep the regular RAT in
@@ -197,23 +198,26 @@ func (c *Core) allocRegular(budget int) {
 					c.debugViol(t, reg)
 				}
 				c.st.DependenceViolations++
-				c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+				c.fetchQ.popHead()
+				c.pool.put(e)
 				c.dependenceViolation(t)
 				return
 			}
 			if u.Op.HasDst() {
-				if len(c.cmq) == 0 || c.cmq[0] != t {
+				if c.cmq.len() == 0 || c.cmq.items[0] != t {
 					panic(errInternal("CMQ head mismatch at replay of seq %d", t.seq))
 				}
-				c.cmq = c.cmq[:copy(c.cmq, c.cmq[1:])]
+				c.cmq.popHead()
 				t.prevReg = c.rf.rat[u.Dst]
 				c.rf.rat[u.Dst] = t.dstPhys
 				c.rf.poison[u.Dst] = false
 			}
 			t.regRenamed = true
+			c.work = true
 			c.traceEvent("rename", t, "replay")
 			c.regNextSeq = e.seq + 1
-			c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+			c.fetchQ.popHead()
+			c.pool.put(e)
 			budget--
 			continue
 		}
@@ -290,7 +294,7 @@ func (c *Core) allocRegular(budget int) {
 		c.traceEvent("rename", e, "")
 
 		c.dispatch(e)
-		c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+		c.fetchQ.popHead()
 		budget--
 	}
 }
@@ -308,6 +312,7 @@ func (c *Core) violatesPoison(u isa.Uop) bool {
 
 // dispatch places an allocated entry into the ROB section, RS, and LQ/SQ.
 func (c *Core) dispatch(e *entry) {
+	c.work = true
 	if e.critical {
 		c.robCrit.push(e)
 	} else {
@@ -335,6 +340,9 @@ func (c *Core) dispatch(e *entry) {
 	}
 	if !e.wrongPath && e.seq > c.lastAllocSeq {
 		c.lastAllocSeq = e.seq
+	}
+	if !c.cfg.SlowPath {
+		c.schedEnqueue(e)
 	}
 }
 
@@ -365,6 +373,7 @@ func (c *Core) issue() {
 		if e.op.IsStore() && !e.addrReady && !e.wrongPath && c.rf.isReady(e.src1) {
 			e.addr = e.dyn.Addr
 			e.addrReady = true
+			c.work = true
 			c.checkStoreViolation(e)
 		}
 	}
@@ -392,6 +401,7 @@ func (c *Core) issue() {
 			}
 			ports[cls]--
 			budget--
+			c.work = true
 			c.traceEvent("issue", e, e.op.String())
 			c.execute(e)
 			c.removeRS(i)
@@ -544,7 +554,8 @@ func (c *Core) complete() {
 			continue
 		}
 		e.state = stateDone
-		c.rf.markReady(e.dstPhys)
+		c.work = true
+		c.markReadyWake(e.dstPhys)
 		c.traceEvent("complete", e, "")
 		if e.op.IsLoad() && e.wrongPath {
 			continue // wrong-path slots need no resolution
@@ -600,10 +611,11 @@ func (c *Core) retire() {
 
 // pipelineEmpty reports whether nothing is in flight.
 func (c *Core) pipelineEmpty() bool {
-	return c.robOccupancy() == 0 && len(c.fetchQ) == 0 && len(c.critQ) == 0
+	return c.robOccupancy() == 0 && c.fetchQ.len() == 0 && c.critQ.len() == 0
 }
 
 func (c *Core) retireEntry(e *entry) {
+	c.work = true
 	if !c.checkCommit(e) {
 		// Divergence: the machine stops with its state intact for the
 		// snapshot; the diverging uop does not retire.
@@ -652,7 +664,7 @@ func (c *Core) retireEntry(e *entry) {
 	// Free the previous mapping of the destination register.
 	if e.hasDst() {
 		c.rf.release(e.prevReg)
-		c.rf.markReady(e.prevReg)
+		c.markReadyWake(e.prevReg)
 		if e.critical {
 			c.rf.critInFlight--
 		}
@@ -675,15 +687,20 @@ func (c *Core) retireEntry(e *entry) {
 	if e.dyn.Last {
 		c.finish(StopCompleted)
 	}
+	c.pool.put(e)
 }
 
 // --- flush and recovery ---
 
 // collectFlush removes all entries younger than (seq, sub) — inclusive when
 // requested — from every structure and undoes their renames youngest-first.
+// Removed entries are recycled into the pool at the end, after their rename
+// and stream bookkeeping has been undone.
 func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
-	removed := c.robCrit.flushYounger(seq, sub, inclusive)
-	removed = append(removed, c.robNon.flushYounger(seq, sub, inclusive)...)
+	c.work = true
+	scratch := c.robCrit.flushYounger(seq, sub, inclusive, c.flushScratch[:0])
+	scratch = c.robNon.flushYounger(seq, sub, inclusive, scratch)
+	removed := scratch
 
 	drop := func(e *entry) bool {
 		if inclusive {
@@ -693,30 +710,16 @@ func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
 	}
 
 	// LQ/SQ.
-	keepLQ := c.lq.items[:0]
-	for _, e := range c.lq.items {
-		if drop(e) {
-			if e.critical {
-				c.lqCrit--
-			}
-		} else {
-			keepLQ = append(keepLQ, e)
+	c.lq.filter(func(e *entry) bool { return !drop(e) }, func(e *entry) {
+		if e.critical {
+			c.lqCrit--
 		}
-	}
-	clearTail(c.lq.items, len(keepLQ))
-	c.lq.items = keepLQ
-	keepSQ := c.sq.items[:0]
-	for _, e := range c.sq.items {
-		if drop(e) {
-			if e.critical {
-				c.sqCrit--
-			}
-		} else {
-			keepSQ = append(keepSQ, e)
+	})
+	c.sq.filter(func(e *entry) bool { return !drop(e) }, func(e *entry) {
+		if e.critical {
+			c.sqCrit--
 		}
-	}
-	clearTail(c.sq.items, len(keepSQ))
-	c.sq.items = keepSQ
+	})
 
 	// RS and exec list.
 	keepRS := c.rs[:0]
@@ -740,37 +743,23 @@ func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
 	clearTail(c.exec, len(keepEx))
 	c.exec = keepEx
 
-	// Frontend queues.
-	keepF := c.fetchQ[:0]
-	for _, it := range c.fetchQ {
-		if !drop(it.e) {
-			keepF = append(keepF, it)
-		}
-	}
-	c.fetchQ = keepF
-	keepC := c.critQ[:0]
-	for _, it := range c.critQ {
-		if !drop(it.e) {
-			keepC = append(keepC, it)
-		}
-	}
-	c.critQ = keepC
+	// Frontend queues. Entries still in the decode pipes were never
+	// dispatched, so nothing else references them: recycle immediately
+	// (clearing any stream record that points at a dropped critical entry,
+	// so a later refetch of the position starts clean).
+	c.fetchQ.filter(func(it fqItem) bool { return !drop(it.e) }, func(it fqItem) {
+		c.pool.put(it.e)
+	})
+	c.critQ.filter(func(it fqItem) bool { return !drop(it.e) }, func(it fqItem) {
+		c.clearStreamCrit(it.e)
+		c.pool.put(it.e)
+	})
 
-	// DBQ / CMQ.
-	keepD := c.dbq[:0]
-	for _, d := range c.dbq {
-		if d.seq <= seq && !(inclusive && d.seq == seq) {
-			keepD = append(keepD, d)
-		}
-	}
-	c.dbq = keepD
-	keepM := c.cmq[:0]
-	for _, e := range c.cmq {
-		if !drop(e) {
-			keepM = append(keepM, e)
-		}
-	}
-	c.cmq = keepM
+	// DBQ / CMQ. CMQ entries alias backend entries already collected above.
+	c.dbq.filter(func(d dbqEntry) bool {
+		return d.seq <= seq && !(inclusive && d.seq == seq)
+	}, nil)
+	c.cmq.filter(func(e *entry) bool { return !drop(e) }, nil)
 
 	// Wrong-path engines whose source branch got flushed.
 	if c.regWPActive {
@@ -792,7 +781,15 @@ func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
 	}
 
 	// Undo renames youngest-first.
-	sort.Slice(removed, func(i, j int) bool { return removed[j].before(removed[i]) })
+	slices.SortFunc(removed, func(a, b *entry) int {
+		switch {
+		case b.before(a):
+			return -1
+		case a.before(b):
+			return 1
+		}
+		return 0
+	})
 	for _, e := range removed {
 		if !e.hasDst() {
 			continue
@@ -810,6 +807,32 @@ func (c *Core) collectFlush(seq uint64, sub uint32, inclusive bool) {
 			c.rf.critInFlight--
 		}
 	}
+
+	// Stream bookkeeping, then recycle. A critical entry flushed while CDF
+	// mode survives (no epoch bump) would otherwise leave a stale critEntry
+	// pointer in its stream record; the critical fetcher re-examines those
+	// positions, and a later regular fetch of one must not replay a dead
+	// (now recycled) entry.
+	for _, e := range removed {
+		c.clearStreamCrit(e)
+		c.pool.put(e)
+	}
+	c.flushScratch = removed[:0]
+	if !c.cfg.SlowPath {
+		c.schedRebuild()
+	}
+}
+
+// clearStreamCrit erases a critical entry's stream-record linkage (no-op
+// for other entries or already-released positions).
+func (c *Core) clearStreamCrit(e *entry) {
+	if !e.critical || e.wrongPath {
+		return
+	}
+	if r := c.strm.peek(e.seq); r != nil && r.critEntry == e {
+		r.fetchedCritical = false
+		r.critEntry = nil
+	}
 }
 
 func clearTail[T any](s []T, from int) {
@@ -823,7 +846,9 @@ func clearTail[T any](s []T, from int) {
 // mode bookkeeping (§3.6 "Branch Mispredictions").
 func (c *Core) recoverBranch(br *entry) {
 	c.st.BranchMispredicts++
-	c.traceMode(fmt.Sprintf("mispredicted branch at seq %d resolves", br.seq))
+	if c.tracer != nil {
+		c.traceMode(fmt.Sprintf("mispredicted branch at seq %d resolves", br.seq))
+	}
 	c.collectFlush(br.seq, br.sub, false)
 
 	wasAhead := c.regSeq > br.seq+1 || (c.regWPActive && c.regWPSeq == br.seq)
@@ -855,11 +880,11 @@ func (c *Core) recoverBranch(br *entry) {
 		// Correct the branch's DBQ entry if the regular stream has not
 		// consumed it yet ("resolved earlier" — the non-critical stream
 		// then follows the corrected direction with no flush of its own).
-		for i := range c.dbq {
-			if c.dbq[i].seq == br.seq {
-				c.dbq[i].taken = br.dyn.Taken
-				c.dbq[i].target = br.dyn.NextPC
-				c.dbq[i].wrong = false
+		for i := range c.dbq.items {
+			if c.dbq.items[i].seq == br.seq {
+				c.dbq.items[i].taken = br.dyn.Taken
+				c.dbq.items[i].target = br.dyn.NextPC
+				c.dbq.items[i].wrong = false
 			}
 		}
 		return
@@ -872,11 +897,14 @@ func (c *Core) recoverBranch(br *entry) {
 // flush from the violating instruction (inclusive) and restart in regular
 // mode (§3.6 "Dependence Violations in the Critical Instruction Stream").
 func (c *Core) dependenceViolation(v *entry) {
-	c.traceMode(fmt.Sprintf("register dependence violation at seq %d", v.seq))
-	c.collectFlush(v.seq, 0, true)
+	seq := v.seq // the inclusive flush recycles v itself
+	if c.tracer != nil {
+		c.traceMode(fmt.Sprintf("register dependence violation at seq %d", seq))
+	}
+	c.collectFlush(seq, 0, true)
 	c.exitCDFNow()
-	c.regSeq = minU(c.regSeq, v.seq)
-	c.regNextSeq = minU(c.regNextSeq, v.seq)
+	c.regSeq = minU(c.regSeq, seq)
+	c.regNextSeq = minU(c.regNextSeq, seq)
 	c.regWPActive = false
 	c.haveFetchLine = false
 	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
@@ -886,13 +914,14 @@ func (c *Core) dependenceViolation(v *entry) {
 // restarts fetch there; in CDF mode the processor restarts in regular mode
 // (§3.5 "Memory Disambiguation").
 func (c *Core) memoryViolation(ld *entry) {
-	c.collectFlush(ld.seq, ld.sub, true)
+	seq := ld.seq // the inclusive flush recycles ld itself
+	c.collectFlush(seq, ld.sub, true)
 	if c.cdfOn {
 		c.exitCDFNow()
 	}
 	c.regWPActive = false
-	c.regSeq = minU(c.regSeq, ld.seq)
-	c.regNextSeq = minU(c.regNextSeq, ld.seq)
+	c.regSeq = minU(c.regSeq, seq)
+	c.regNextSeq = minU(c.regNextSeq, seq)
 	c.haveFetchLine = false
 	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
 }

@@ -110,6 +110,12 @@ type Config struct {
 	// the cycle it happens rather than cycles later as a wedge or a bad
 	// statistic. It is O(window) per check; 0 disables (the default).
 	ParanoidEvery uint64
+
+	// SlowPath disables the optimised scheduler and the event-driven idle
+	// skip, running the straightforward reference cycle loop instead. The
+	// two paths are bit-identical by construction (see DESIGN.md §9);
+	// equivalence tests and the -slowpath CLI flag exist to prove it.
+	SlowPath bool
 }
 
 // Default returns the paper's Table 1 machine: 3.2 GHz 6-wide core with a

@@ -60,7 +60,7 @@ type Core struct {
 	// Regular frontend.
 	regSeq          uint64 // next dynamic position for regular fetch
 	regNextSeq      uint64 // next seq the regular rename stage expects
-	fetchQ          []fqItem
+	fetchQ          queue[fqItem]
 	fetchStallUntil uint64
 	regWPActive     bool   // regular stream on a modelled wrong path
 	regWPSeq        uint64 // ...behind the mispredicted branch at this seq
@@ -79,10 +79,27 @@ type Core struct {
 	critWPSeq      uint64
 	critWPEmitted  int
 	critWPCritBr   bool
-	critQ          []fqItem
-	dbq            []dbqEntry
-	cmq            []*entry
+	critQ          queue[fqItem]
+	dbq            queue[dbqEntry]
+	cmq            queue[*entry]
 	wpCounter      uint32
+
+	// Allocation discipline: recycled entry structs and the reusable flush
+	// scratch buffer, so the steady-state loop never heap-allocates.
+	pool         entryPool
+	flushScratch []*entry
+
+	// Fast-path scheduler state (see sched.go; unused when cfg.SlowPath).
+	// readyList holds RS entries whose operands are available, in program
+	// order; waitHead chains waiting entries per physical register;
+	// staPending holds stores awaiting address generation.
+	readyList  []*entry
+	staPending []*entry
+	waitHead   []*entry
+
+	// work records whether the current cycle changed machine state beyond
+	// the per-cycle counters the idle skip replicates (see skip.go).
+	work bool
 
 	// Criticality machinery.
 	loadCCT     *cdf.CountTable
@@ -118,6 +135,8 @@ type Core struct {
 	checkErr    error
 
 	// Debug hooks (tests only).
+	debugVerifySkip  bool            // check skips against real simulation
+	skipPred         *skipPrediction // pending skip-verifier prediction
 	debugViol        func(e *entry, reg int)
 	debugBlockRetire func() bool // when set and true, retire stalls (watchdog tests)
 	lastPoisonWriter [32]string
@@ -131,6 +150,10 @@ type Core struct {
 	retired    uint64
 	finished   bool
 	stopReason StopReason
+
+	// nextRelease is the retire-count high-water mark at which the stream
+	// buffer next drops its retired prefix (endOfCycle).
+	nextRelease uint64
 }
 
 // New builds a core executing p with memory state m.
@@ -149,6 +172,7 @@ func New(cfg Config, p *prog.Program, m *emu.Memory) (*Core, error) {
 		rf:   newRegFile(cfg.PRFSize),
 		rng:  cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
 	}
+	c.waitHead = make([]*entry, cfg.PRFSize)
 	c.blockByPC = make(map[uint64]int, len(p.Blocks))
 	for _, b := range p.Blocks {
 		c.blockByPC[p.BlockPC(b.ID)] = b.ID
@@ -244,14 +268,32 @@ func (c *Core) Run() uint64 {
 }
 
 // Cycle advances the machine one clock. Stages run in reverse pipeline
-// order so same-cycle structural hazards resolve like hardware.
+// order so same-cycle structural hazards resolve like hardware. On the fast
+// path, a cycle following a workless cycle is observed for the idle skip
+// (skip.go): if it proves to be a stalled fixed point, the clock jumps to
+// the next event and the skipped cycles' deltas are replayed in bulk.
 func (c *Core) Cycle() {
 	if c.finished {
 		return
 	}
+	observe := !c.work && c.skipEligible()
+	var prevStats stats.Stats
+	var prevSig coreSig
+	var prevParts [3]partSnap
+	if observe {
+		prevStats = *c.st
+		prevSig = c.sig()
+		prevParts = c.partSnaps()
+	}
+	c.work = false
+
 	c.complete()
 	c.retire()
-	c.issue()
+	if c.cfg.SlowPath {
+		c.issue()
+	} else {
+		c.issueFast()
+	}
 	c.processMemViolation()
 	c.allocate()
 	c.fetch()
@@ -269,6 +311,12 @@ func (c *Core) Cycle() {
 		if err := c.CheckInvariants(); err != nil {
 			panic(errInternal("paranoid invariant check failed at cycle %d: %v", c.now, err))
 		}
+	}
+	if c.skipPred != nil && c.now >= c.skipPred.at {
+		c.verifySkipPrediction()
+	}
+	if observe && !c.work && !c.finished {
+		c.trySkip(&prevStats, prevSig, prevParts)
 	}
 }
 
@@ -376,8 +424,11 @@ func (c *Core) endOfCycle() {
 	}
 
 	// Release retired stream positions (keep a safety margin for in-flight
-	// references behind the oldest unretired seq).
-	if c.retired%4096 == 0 {
+	// references behind the oldest unretired seq). Retire advances by up to
+	// the machine width per cycle, so trigger on a high-water mark rather
+	// than an exact multiple.
+	if c.retired >= c.nextRelease {
+		c.nextRelease = c.retired + 4096
 		c.strm.Release(c.oldestLiveSeq())
 	}
 }
@@ -406,7 +457,7 @@ func (c *Core) oldestLiveSeq() uint64 {
 	if h := c.oldestROBHead(); h != nil && h.seq < oldest {
 		oldest = h.seq
 	}
-	for _, it := range c.fetchQ {
+	for _, it := range c.fetchQ.items {
 		if it.e.seq < oldest {
 			oldest = it.e.seq
 		}

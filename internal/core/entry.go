@@ -62,6 +62,44 @@ type entry struct {
 	// replayOf's mapping from the Critical Map Queue and are discarded.
 	isReplay bool
 	replayOf *entry
+
+	// Scheduler wakeup state (fast path only, see sched.go). wnext chains
+	// this entry on the waiter lists of up to two unready source registers;
+	// waitCnt counts sources still outstanding.
+	wnext   [2]*entry
+	waitCnt int8
+
+	// pooled marks an entry currently on the free list; a second put or a
+	// use-after-put trips the invariant panic in entryPool.
+	pooled bool
+}
+
+// entryPool recycles entry structs so the steady-state cycle loop does not
+// allocate. Entries live in exactly one place (fetchQ/critQ pipe, or the
+// backend windows rooted at the ROB sections); the owner at end-of-life
+// returns them here.
+type entryPool struct {
+	free []*entry
+}
+
+func (p *entryPool) get() *entry {
+	n := len(p.free)
+	if n == 0 {
+		return &entry{}
+	}
+	e := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	e.pooled = false
+	return e
+}
+
+func (p *entryPool) put(e *entry) {
+	if e.pooled {
+		panic(errInternal("entry %d.%d recycled twice", e.seq, e.sub))
+	}
+	*e = entry{pooled: true}
+	p.free = append(p.free, e)
 }
 
 // younger reports whether e is younger than (seq, sub) in program order.
@@ -86,8 +124,16 @@ func (e *entry) hasDst() bool { return e.dstPhys >= 0 }
 // sections and the LQ/SQ sections. Entries are appended in allocation order
 // (which is program order within a section) and removed from the front at
 // retire or anywhere by flush.
+//
+// The representation is a sliding window over a backing array: items is
+// buf[head:], popHead just advances head, and push compacts the window
+// back to the front of buf only when append would grow it — so both ends
+// are amortized O(1) with zero steady-state allocation, and readers can
+// keep iterating the items slice directly.
 type fifo struct {
-	items []*entry
+	items []*entry // the live window: always buf[off:]
+	buf   []*entry
+	off   int
 }
 
 func (f *fifo) len() int    { return len(f.items) }
@@ -98,53 +144,148 @@ func (f *fifo) head() *entry {
 	}
 	return f.items[0]
 }
-func (f *fifo) push(e *entry) { f.items = append(f.items, e) }
+func (f *fifo) push(e *entry) {
+	if len(f.buf) == cap(f.buf) && f.off > 0 {
+		n := copy(f.buf, f.items)
+		clearTail(f.buf, n)
+		f.buf = f.buf[:n]
+		f.off = 0
+	}
+	f.buf = append(f.buf, e)
+	f.items = f.buf[f.off:]
+}
 func (f *fifo) popHead() *entry {
 	e := f.items[0]
-	copy(f.items, f.items[1:])
-	f.items[len(f.items)-1] = nil
-	f.items = f.items[:len(f.items)-1]
+	f.buf[f.off] = nil
+	f.off++
+	f.items = f.buf[f.off:]
+	if len(f.items) == 0 {
+		f.buf = f.buf[:0]
+		f.off = 0
+		f.items = f.buf
+	}
 	return e
+}
+
+// filter keeps only entries for which keep returns true, preserving order.
+// Dropped entries are handed to the callback before removal (nil ok).
+func (f *fifo) filter(keep func(*entry) bool, dropped func(*entry)) {
+	items := f.items
+	kept := items[:0]
+	for _, e := range items {
+		if keep(e) {
+			kept = append(kept, e)
+		} else if dropped != nil {
+			dropped(e)
+		}
+	}
+	clearTail(items, len(kept))
+	f.buf = f.buf[:f.off+len(kept)]
+	f.items = f.buf[f.off:]
 }
 
 // insertOrdered places e at its program-order position (the LQ/SQ hold
 // critical and non-critical uops interleaved in program order even though
 // they allocate out of order).
 func (f *fifo) insertOrdered(e *entry) {
-	i := len(f.items)
-	for i > 0 && e.before(f.items[i-1]) {
+	f.push(e)
+	items := f.items
+	i := len(items) - 1
+	for i > 0 && e.before(items[i-1]) {
+		items[i] = items[i-1]
 		i--
 	}
-	f.items = append(f.items, nil)
-	copy(f.items[i+1:], f.items[i:])
-	f.items[i] = e
+	items[i] = e
 }
 
 // flushYounger removes entries younger than (seq, sub) — strictly, or
-// inclusive of (seq, sub) itself when inclusive is set — returning the
-// removed entries youngest-first (the order rename undo needs).
-func (f *fifo) flushYounger(seq uint64, sub uint32, inclusive bool) []*entry {
-	keep := f.items[:0]
-	var removed []*entry
-	for _, e := range f.items {
+// inclusive of (seq, sub) itself when inclusive is set — appending the
+// removed entries to scratch youngest-first (the order rename undo needs)
+// and returning the extended slice. Callers pass a reusable buffer so the
+// flush path does not allocate in steady state.
+func (f *fifo) flushYounger(seq uint64, sub uint32, inclusive bool, scratch []*entry) []*entry {
+	items := f.items
+	keep := items[:0]
+	base := len(scratch)
+	for _, e := range items {
 		drop := e.younger(seq, sub)
 		if inclusive {
 			drop = e.youngerEq(seq, sub)
 		}
 		if drop {
-			removed = append(removed, e)
+			scratch = append(scratch, e)
 		} else {
 			keep = append(keep, e)
 		}
 	}
 	// Clear the tail so flushed entries do not linger.
-	for i := len(keep); i < len(f.items); i++ {
-		f.items[i] = nil
-	}
-	f.items = keep
-	// Youngest first.
+	clearTail(items, len(keep))
+	f.buf = f.buf[:f.off+len(keep)]
+	f.items = f.buf[f.off:]
+	// Youngest first among this fifo's removals.
+	removed := scratch[base:]
 	for i, j := 0, len(removed)-1; i < j; i, j = i+1, j-1 {
 		removed[i], removed[j] = removed[j], removed[i]
 	}
-	return removed
+	return scratch
+}
+
+// queue is the same sliding-window discipline as fifo for the frontend's
+// value-typed pipes (fetch queue, DBQ) and pointer queues (critical queue,
+// CMQ): O(1) amortized push/popHead with zero steady-state allocation.
+type queue[T any] struct {
+	items []T // the live window: always buf[head:]
+	buf   []T
+	head  int
+}
+
+func (q *queue[T]) len() int    { return len(q.items) }
+func (q *queue[T]) empty() bool { return len(q.items) == 0 }
+func (q *queue[T]) push(v T) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.items)
+		clearTail(q.buf, n)
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+	q.items = q.buf[q.head:]
+}
+func (q *queue[T]) popHead() T {
+	var zero T
+	v := q.items[0]
+	q.buf[q.head] = zero
+	q.head++
+	q.items = q.buf[q.head:]
+	if len(q.items) == 0 {
+		q.buf = q.buf[:0]
+		q.head = 0
+		q.items = q.buf
+	}
+	return v
+}
+
+// clear empties the queue.
+func (q *queue[T]) clear() {
+	clearTail(q.buf, 0)
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.items = q.buf
+}
+
+// filter keeps only items for which keep returns true, preserving order.
+// Dropped items are handed to the callback before removal (nil ok).
+func (q *queue[T]) filter(keep func(T) bool, dropped func(T)) {
+	items := q.items
+	kept := items[:0]
+	for _, v := range items {
+		if keep(v) {
+			kept = append(kept, v)
+		} else if dropped != nil {
+			dropped(v)
+		}
+	}
+	clearTail(items, len(kept))
+	q.buf = q.buf[:q.head+len(kept)]
+	q.items = q.buf[q.head:]
 }

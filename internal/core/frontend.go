@@ -45,7 +45,7 @@ func (c *Core) regFetch() {
 	for budget > 0 {
 		// The decode/uop queue is finite: fetch throttles when rename backs
 		// up (2 cycles of slack beyond the decode pipe contents).
-		if len(c.fetchQ) >= (c.cfg.DecodeLat+2)*c.cfg.Width {
+		if c.fetchQ.len() >= (c.cfg.DecodeLat+2)*c.cfg.Width {
 			break
 		}
 		// CDF gating: the regular stream may not pass positions the
@@ -93,28 +93,30 @@ func (c *Core) regFetch() {
 
 		isCritPos := c.cdfOn && rec.fetchedCritical && rec.epoch == c.cdfEpoch
 
-		var e *entry
+		e := c.pool.get()
 		if isCritPos {
 			// The regular stream refetches critical uops from the I-cache
 			// and discards them at rename (replaying their mapping).
-			e = &entry{seq: c.regSeq, op: dyn.U.Op, isReplay: true, replayOf: rec.critEntry, fetchedInCDF: true}
+			e.seq, e.op = c.regSeq, dyn.U.Op
+			e.isReplay, e.replayOf, e.fetchedInCDF = true, rec.critEntry, true
 		} else {
-			e = &entry{seq: c.regSeq, dyn: *dyn, op: dyn.U.Op, fetchedInCDF: c.cdfOn,
-				obsCritical: rec.markedCritical,
-				dstPhys:     -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1}
+			e.seq, e.dyn, e.op = c.regSeq, *dyn, dyn.U.Op
+			e.fetchedInCDF, e.obsCritical = c.cdfOn, rec.markedCritical
+			e.dstPhys, e.prevCrit, e.prevReg, e.src1, e.src2 = -1, -1, -1, -1, -1
 		}
 
 		if dyn.U.Op.IsBranch() {
 			if c.cdfOn && c.regSeq < c.critScanSeq {
 				// Prediction comes from the Delayed Branch Queue.
-				if len(c.dbq) == 0 {
+				if c.dbq.empty() {
+					c.pool.put(e)
 					break // wait for the critical fetcher
 				}
-				de := c.dbq[0]
+				de := c.dbq.items[0]
 				if de.seq != c.regSeq {
 					panic(errInternal("DBQ head seq %d != fetch seq %d", de.seq, c.regSeq))
 				}
-				c.dbq = c.dbq[:copy(c.dbq, c.dbq[1:])]
+				c.dbq.popHead()
 				if de.wrong {
 					// Follow the wrong path until this branch resolves. For
 					// a non-critical branch, the instance fetched here is
@@ -190,7 +192,8 @@ func (c *Core) predictAndCheck(e *entry, rec *streamRec) (mispredicted bool) {
 
 // pushFetch enqueues a fetched uop into the decode pipe.
 func (c *Core) pushFetch(e *entry) {
-	c.fetchQ = append(c.fetchQ, fqItem{e: e, at: c.now + uint64(c.cfg.DecodeLat)})
+	c.work = true
+	c.fetchQ.push(fqItem{e: e, at: c.now + uint64(c.cfg.DecodeLat)})
 	c.st.FetchedUops++
 	if c.tracer != nil {
 		desc := e.op.String()
@@ -260,19 +263,19 @@ func (c *Core) emitWrongPath(critical bool) {
 	if critical {
 		lat = uint64(c.cfg.CritDecodeLat)
 	}
-	if q := c.fetchQ; !critical && len(q) >= (c.cfg.DecodeLat+2)*c.cfg.Width {
+	if !critical && c.fetchQ.len() >= (c.cfg.DecodeLat+2)*c.cfg.Width {
 		return
 	}
-	if critical && len(c.critQ) >= 4*c.cfg.Width {
+	if critical && c.critQ.len() >= 4*c.cfg.Width {
 		return
 	}
+	c.work = true
 	for i := 0; i < c.cfg.Width; i++ {
 		c.wpCounter++
-		e := &entry{
-			seq: brSeq, sub: c.wpCounter, wrongPath: true,
-			critical: critical, fetchedInCDF: c.cdfOn,
-			dstPhys: -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1,
-		}
+		e := c.pool.get()
+		e.seq, e.sub, e.wrongPath = brSeq, c.wpCounter, true
+		e.critical, e.fetchedInCDF = critical, c.cdfOn
+		e.dstPhys, e.prevCrit, e.prevReg, e.src1, e.src2 = -1, -1, -1, -1, -1
 		if c.rand01() < c.cfg.WrongPathLoadFrac {
 			e.op = isa.OpLoad
 			e.addr = c.synthWrongPathAddr()
@@ -281,9 +284,9 @@ func (c *Core) emitWrongPath(critical bool) {
 		}
 		it := fqItem{e: e, at: c.now + lat}
 		if critical {
-			c.critQ = append(c.critQ, it)
+			c.critQ.push(it)
 		} else {
-			c.fetchQ = append(c.fetchQ, it)
+			c.fetchQ.push(it)
 		}
 		c.st.FetchedUops++
 	}
@@ -317,7 +320,7 @@ func (c *Core) critFetch() {
 	}
 	// Structural limits: DBQ space for the block's branch, and room in the
 	// critical instruction buffer.
-	if len(c.dbq) >= c.cfg.CDF.DBQSize || len(c.critQ) >= 4*c.cfg.Width {
+	if c.dbq.len() >= c.cfg.CDF.DBQSize || c.critQ.len() >= 4*c.cfg.Width {
 		return
 	}
 
@@ -351,16 +354,20 @@ func (c *Core) critFetch() {
 			return
 		}
 		if i < 64 && tr.Mask&(1<<uint(i)) != 0 {
-			e := &entry{seq: pos, dyn: r.dyn, op: r.dyn.U.Op,
-				critical: true, fetchedInCDF: true,
-				dstPhys: -1, prevCrit: -1, prevReg: -1, src1: -1, src2: -1}
+			e := c.pool.get()
+			e.seq, e.dyn, e.op = pos, r.dyn, r.dyn.U.Op
+			e.critical, e.fetchedInCDF = true, true
+			e.dstPhys, e.prevCrit, e.prevReg, e.src1, e.src2 = -1, -1, -1, -1, -1
 			r.fetchedCritical = true
 			r.critEntry = e
 			r.epoch = c.cdfEpoch
 			r.markedCritical = true
-			c.critQ = append(c.critQ, fqItem{e: e, at: c.now + uint64(c.cfg.CritDecodeLat)})
+			c.work = true
+			c.critQ.push(fqItem{e: e, at: c.now + uint64(c.cfg.CritDecodeLat)})
 			c.st.CriticalUopsFetched++
-			c.traceEvent("fetch", e, "critical "+e.op.String())
+			if c.tracer != nil {
+				c.traceEvent("fetch", e, "critical "+e.op.String())
+			}
 		}
 	}
 
@@ -395,7 +402,7 @@ func (c *Core) critFetch() {
 		if !pr.Taken {
 			target = last.PC + 8
 		}
-		c.dbq = append(c.dbq, dbqEntry{seq: lastPos, taken: pr.Taken, target: target, wrong: wrong})
+		c.dbq.push(dbqEntry{seq: lastPos, taken: pr.Taken, target: target, wrong: wrong})
 
 		if ce := lastRec.critEntry; lastRec.fetchedCritical && lastRec.epoch == c.cdfEpoch && ce != nil && ce.seq == lastPos {
 			ce.pred = pr
@@ -424,7 +431,10 @@ func (c *Core) enterCDF(seq uint64) {
 	c.cdfEpoch++
 	c.rf.clearPoison()
 	c.st.CDFEntries++
-	c.traceMode(fmt.Sprintf("enter CDF mode at seq %d", seq))
+	c.work = true
+	if c.tracer != nil {
+		c.traceMode(fmt.Sprintf("enter CDF mode at seq %d", seq))
+	}
 	if c.robPart != nil {
 		c.robPart.SetDesired(c.cfg.ROBSize * 3 / 4)
 		c.lqPart.SetDesired(c.cfg.LQSize * 3 / 4)
@@ -455,7 +465,7 @@ func (c *Core) maybeFinalizeCDFExit() {
 	if c.regNextSeq < c.critScanSeq {
 		return
 	}
-	if len(c.cmq) != 0 || len(c.critQ) != 0 {
+	if c.cmq.len() != 0 || c.critQ.len() != 0 {
 		return
 	}
 	c.exitCDFNow()
@@ -464,14 +474,21 @@ func (c *Core) maybeFinalizeCDFExit() {
 // exitCDFNow drops all CDF mode state immediately (violations, regular-mode
 // branch recovery, or a completed drain).
 func (c *Core) exitCDFNow() {
+	c.work = true
 	c.cdfOn = false
 	c.cdfExitPending = false
 	c.critWPActive = false
 	c.rf.dropCritRAT()
 	c.rf.clearPoison()
-	c.dbq = c.dbq[:0]
-	c.cmq = c.cmq[:0]
-	c.critQ = c.critQ[:0]
+	c.dbq.clear()
+	c.cmq.clear()
+	// Critical-queue entries never reached rename; recycle them and clear
+	// their stream records so a post-exit refetch starts clean.
+	for c.critQ.len() > 0 {
+		it := c.critQ.popHead()
+		c.clearStreamCrit(it.e)
+		c.pool.put(it.e)
+	}
 	c.cdfEpoch++
 	c.st.CDFExits++
 	c.traceMode("exit CDF mode")

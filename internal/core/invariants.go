@@ -96,17 +96,17 @@ func (c *Core) CheckInvariants() error {
 	}
 
 	// CMQ: critical, critically renamed, program-ordered.
-	for i, e := range c.cmq {
+	for i, e := range c.cmq.items {
 		if !e.critical || !e.critRenamed {
 			return fmt.Errorf("CMQ[%d] holds a non-renamed or non-critical entry", i)
 		}
-		if i > 0 && !c.cmq[i-1].before(e) {
+		if i > 0 && !c.cmq.items[i-1].before(e) {
 			return fmt.Errorf("CMQ out of order at %d", i)
 		}
 	}
 	// DBQ: program-ordered.
-	for i := 1; i < len(c.dbq); i++ {
-		if c.dbq[i].seq <= c.dbq[i-1].seq {
+	for i := 1; i < c.dbq.len(); i++ {
+		if c.dbq.items[i].seq <= c.dbq.items[i-1].seq {
 			return fmt.Errorf("DBQ out of order at %d", i)
 		}
 	}

@@ -27,10 +27,14 @@ type regFile struct {
 	// critInFlight counts physical registers held by in-flight critical
 	// uops, for the PRF partition limit (§3.5).
 	critInFlight int
+
+	// invScratch is the reusable free-list membership bitset for
+	// checkInvariant, so paranoid runs do not allocate a map every check.
+	invScratch []uint64
 }
 
 func newRegFile(size int) *regFile {
-	rf := &regFile{size: size, ready: make([]bool, size)}
+	rf := &regFile{size: size, ready: make([]bool, size), invScratch: make([]uint64, (size+63)/64)}
 	// Map architectural registers to the first NumRegs physical registers.
 	for r := 0; r < int(isa.NumRegs); r++ {
 		rf.rat[r] = int16(r)
@@ -110,16 +114,20 @@ func (rf *regFile) lookup(r isa.Reg, critical bool) int16 {
 // checkInvariant verifies no physical register is both free and mapped;
 // tests call it after flush sequences.
 func (rf *regFile) checkInvariant() error {
-	onFree := make(map[int16]bool, len(rf.free))
+	onFree := rf.invScratch
+	for i := range onFree {
+		onFree[i] = 0
+	}
 	for _, p := range rf.free {
-		if onFree[p] {
+		if onFree[p>>6]&(1<<uint(p&63)) != 0 {
 			return fmt.Errorf("core: phys %d on free list twice", p)
 		}
-		onFree[p] = true
+		onFree[p>>6] |= 1 << uint(p&63)
 	}
 	for r := 0; r < int(isa.NumRegs); r++ {
-		if onFree[rf.rat[r]] {
-			return fmt.Errorf("core: phys %d mapped to %s but free", rf.rat[r], isa.Reg(r))
+		p := rf.rat[r]
+		if p >= 0 && onFree[p>>6]&(1<<uint(p&63)) != 0 {
+			return fmt.Errorf("core: phys %d mapped to %s but free", p, isa.Reg(r))
 		}
 	}
 	return nil

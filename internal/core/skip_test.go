@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cdf/internal/workload"
+)
+
+// TestSkipPredictions runs every machine mode with the idle-skip verifier
+// enabled: instead of jumping the clock, trySkip records its predicted
+// statistics and machine signature, the core then simulates the skipped
+// window cycle by cycle, and verifySkipPrediction panics on any mismatch.
+// This checks the skip's event model (nextEvent) directly — every stretch
+// the fast path would have skipped is proven to behave as replicated.
+func TestSkipPredictions(t *testing.T) {
+	const uops = 20_000
+	for _, mode := range []Mode{ModeBaseline, ModeCDF, ModePRE, ModeHybrid} {
+		for _, w := range workload.All() {
+			mode, w := mode, w
+			t.Run(fmt.Sprintf("%v/%s", mode, w.Name), func(t *testing.T) {
+				t.Parallel()
+				p, m := w.Build()
+				cfg := Default()
+				cfg.Mode = mode
+				cfg.MaxRetired = uops
+				cfg.MaxCycles = uops * 100
+				cfg.Seed = 1
+				c, err := New(cfg, p, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.debugVerifySkip = true
+				for !c.Finished() {
+					c.Cycle()
+				}
+			})
+		}
+	}
+}

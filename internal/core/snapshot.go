@@ -129,10 +129,10 @@ func (c *Core) Snapshot() Snapshot {
 
 		FetchSeq:    c.regSeq,
 		CritScanSeq: c.critScanSeq,
-		FetchQ:      len(c.fetchQ),
-		CritQ:       len(c.critQ),
-		DBQ:         len(c.dbq),
-		CMQ:         len(c.cmq),
+		FetchQ:      c.fetchQ.len(),
+		CritQ:       c.critQ.len(),
+		DBQ:         c.dbq.len(),
+		CMQ:         c.cmq.len(),
 
 		CDFMode:        c.cdfOn,
 		CDFExitPending: c.cdfExitPending,

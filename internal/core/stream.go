@@ -57,6 +57,15 @@ func (s *stream) At(seq uint64) *streamRec {
 	return &s.buf[seq-s.base]
 }
 
+// peek returns the record at seq if it is resident, without generating new
+// stream positions (At runs the emulator; flush bookkeeping must not).
+func (s *stream) peek(seq uint64) *streamRec {
+	if seq < s.base || seq >= s.end {
+		return nil
+	}
+	return &s.buf[seq-s.base]
+}
+
 // Release drops records older than seq (everything < seq is retired and no
 // longer referenced).
 func (s *stream) Release(seq uint64) {
@@ -67,8 +76,13 @@ func (s *stream) Release(seq uint64) {
 		seq = s.end
 	}
 	drop := int(seq - s.base)
-	// Compact occasionally rather than per-call.
-	if drop < cap(s.buf)/2 || drop < 1024 {
+	// Compact once enough has been consumed to be worth the copy. The copy
+	// moves only the live window (a few hundred records), so thresholding
+	// on the drop count alone keeps the buffer's capacity bounded by
+	// live + release cadence; gating on capacity instead would let the
+	// buffer grow toward the whole run (bigger cap -> rarer compaction ->
+	// bigger cap).
+	if drop < 1024 {
 		return
 	}
 	n := copy(s.buf, s.buf[drop:])

@@ -168,7 +168,7 @@ func TestFifoFlushYounger(t *testing.T) {
 	for i := uint64(0); i < 10; i++ {
 		f.push(&entry{seq: i})
 	}
-	removed := f.flushYounger(6, 0, false)
+	removed := f.flushYounger(6, 0, false, nil)
 	if len(removed) != 3 || f.len() != 7 {
 		t.Fatalf("strict flush removed %d, kept %d", len(removed), f.len())
 	}
@@ -176,7 +176,7 @@ func TestFifoFlushYounger(t *testing.T) {
 	if removed[0].seq != 9 || removed[2].seq != 7 {
 		t.Fatalf("removal order: %d..%d", removed[0].seq, removed[2].seq)
 	}
-	removed = f.flushYounger(3, 0, true)
+	removed = f.flushYounger(3, 0, true, nil)
 	if len(removed) != 4 || f.len() != 3 {
 		t.Fatalf("inclusive flush removed %d, kept %d", len(removed), f.len())
 	}

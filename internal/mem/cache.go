@@ -4,7 +4,10 @@
 // trained on L1D demand misses.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 type cacheLine struct {
 	tag        uint64
@@ -26,10 +29,20 @@ type Cache struct {
 	lines    []cacheLine // sets*ways, row-major by set
 	lruClock uint64
 
-	// pending maps a line address to the cycle its in-flight fill completes
-	// (MSHR behaviour: later requests to the same line merge onto it).
-	pending map[uint64]uint64
+	// pending is the MSHR table: in-flight fills as (line, ready) pairs kept
+	// sorted by line address, so lookups are binary searches, iteration order
+	// is deterministic (maps made traced sweep output nondeterministic under
+	// -jobs > 1), and the steady-state loop never allocates — the backing
+	// array is sized to maxMSHR once at construction.
+	pending []mshr
 	maxMSHR int
+}
+
+// mshr is one miss-status holding register: an in-flight fill for line
+// completing at cycle ready. Later requests to the same line merge onto it.
+type mshr struct {
+	line  uint64
+	ready uint64
 }
 
 // NewCache builds a cache of the given total size. sizeBytes must be
@@ -49,7 +62,7 @@ func NewCache(name string, sizeBytes, ways int, lineBytes uint64, hitLat, mshrs 
 		lineBytes: lineBytes,
 		hitLat:    hitLat,
 		lines:     make([]cacheLine, sets*ways),
-		pending:   make(map[uint64]uint64),
+		pending:   make([]mshr, 0, mshrs),
 		maxMSHR:   mshrs,
 	}
 }
@@ -139,36 +152,73 @@ func (c *Cache) MarkDirty(lineAddr uint64) {
 	}
 }
 
+// findPending returns the sorted position of lineAddr in the MSHR table
+// and whether an entry for it exists there.
+func (c *Cache) findPending(lineAddr uint64) (int, bool) {
+	i := sort.Search(len(c.pending), func(i int) bool {
+		return c.pending[i].line >= lineAddr
+	})
+	return i, i < len(c.pending) && c.pending[i].line == lineAddr
+}
+
 // Pending returns the completion cycle of an in-flight fill for lineAddr.
 // Entries whose fill completed before now are pruned lazily.
 func (c *Cache) Pending(lineAddr, now uint64) (ready uint64, ok bool) {
-	ready, ok = c.pending[lineAddr]
-	if ok && ready <= now {
-		delete(c.pending, lineAddr)
+	i, found := c.findPending(lineAddr)
+	if !found {
 		return 0, false
 	}
-	return ready, ok
+	if r := c.pending[i].ready; r > now {
+		return r, true
+	}
+	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	return 0, false
 }
 
 // AddPending records an in-flight fill. It reports false if all MSHRs are
 // busy (the request must retry).
 func (c *Cache) AddPending(lineAddr, ready, now uint64) bool {
+	i, found := c.findPending(lineAddr)
+	if found {
+		c.pending[i].ready = ready
+		return true
+	}
 	if len(c.pending) >= c.maxMSHR {
 		c.prunePending(now)
 		if len(c.pending) >= c.maxMSHR {
 			return false
 		}
+		i, _ = c.findPending(lineAddr)
 	}
-	c.pending[lineAddr] = ready
+	c.pending = append(c.pending, mshr{})
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = mshr{line: lineAddr, ready: ready}
 	return true
 }
 
 func (c *Cache) prunePending(now uint64) {
-	for a, r := range c.pending {
-		if r <= now {
-			delete(c.pending, a)
+	live := c.pending[:0]
+	for _, m := range c.pending {
+		if m.ready > now {
+			live = append(live, m)
 		}
 	}
+	c.pending = live
+}
+
+// NextPendingReady returns the earliest completion cycle among in-flight
+// fills and whether any exist (the idle skip's next-event probe).
+func (c *Cache) NextPendingReady() (uint64, bool) {
+	if len(c.pending) == 0 {
+		return 0, false
+	}
+	min := c.pending[0].ready
+	for _, m := range c.pending[1:] {
+		if m.ready < min {
+			min = m.ready
+		}
+	}
+	return min, true
 }
 
 // PendingCount returns the number of in-flight fills (post-prune).
@@ -183,5 +233,5 @@ func (c *Cache) Flush() {
 	for i := range c.lines {
 		c.lines[i] = cacheLine{}
 	}
-	c.pending = make(map[uint64]uint64)
+	c.pending = c.pending[:0]
 }

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"cdf/internal/mem/dram"
 	"cdf/internal/mem/prefetch"
@@ -89,8 +90,42 @@ type Hierarchy struct {
 
 	// llcMissPending remembers which pending L1D fills also missed the LLC,
 	// so merged requests report LLCMiss consistently. Entries are removed
-	// as their fills complete (outstanding prune).
-	llcMissPending map[uint64]bool
+	// as their fills complete (outstanding prune). A sorted line-address
+	// slice standing in for a set: small, allocation-free in steady state,
+	// deterministic iteration.
+	llcMissPending []uint64
+}
+
+// llcMissFind returns line's sorted position and membership.
+func (h *Hierarchy) llcMissFind(line uint64) (int, bool) {
+	i := sort.Search(len(h.llcMissPending), func(i int) bool {
+		return h.llcMissPending[i] >= line
+	})
+	return i, i < len(h.llcMissPending) && h.llcMissPending[i] == line
+}
+
+// llcMissHas reports whether line's pending fill missed the LLC.
+func (h *Hierarchy) llcMissHas(line uint64) bool {
+	_, ok := h.llcMissFind(line)
+	return ok
+}
+
+// llcMissAdd records line's pending fill as an LLC miss.
+func (h *Hierarchy) llcMissAdd(line uint64) {
+	i, ok := h.llcMissFind(line)
+	if ok {
+		return
+	}
+	h.llcMissPending = append(h.llcMissPending, 0)
+	copy(h.llcMissPending[i+1:], h.llcMissPending[i:])
+	h.llcMissPending[i] = line
+}
+
+// llcMissDel drops line from the merged-miss set.
+func (h *Hierarchy) llcMissDel(line uint64) {
+	if i, ok := h.llcMissFind(line); ok {
+		h.llcMissPending = append(h.llcMissPending[:i], h.llcMissPending[i+1:]...)
+	}
 }
 
 // NewHierarchy builds the memory system. st receives traffic counters and
@@ -103,13 +138,12 @@ func NewHierarchy(cfg Config, st *stats.Stats) *Hierarchy {
 			cfg.L1ISizeBytes, cfg.L1DSizeBytes, cfg.LLCSizeBytes, cfg.LineBytes, err))
 	}
 	h := &Hierarchy{
-		cfg:            cfg,
-		L1I:            NewCache("L1I", cfg.L1ISizeBytes, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, 8),
-		L1D:            NewCache("L1D", cfg.L1DSizeBytes, cfg.L1DWays, cfg.LineBytes, cfg.L1DLatency, cfg.L1DMSHRs),
-		LLC:            NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCWays, cfg.LineBytes, cfg.LLCLatency, cfg.LLCMSHRs),
-		DRAM:           dram.New(cfg.DRAM),
-		St:             st,
-		llcMissPending: make(map[uint64]bool),
+		cfg:  cfg,
+		L1I:  NewCache("L1I", cfg.L1ISizeBytes, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, 8),
+		L1D:  NewCache("L1D", cfg.L1DSizeBytes, cfg.L1DWays, cfg.LineBytes, cfg.L1DLatency, cfg.L1DMSHRs),
+		LLC:  NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCWays, cfg.LineBytes, cfg.LLCLatency, cfg.LLCMSHRs),
+		DRAM: dram.New(cfg.DRAM),
+		St:   st,
 	}
 	if cfg.PrefetchEnabled {
 		h.Pref = prefetch.New(cfg.Prefetch)
@@ -128,11 +162,12 @@ func (h *Hierarchy) Load(addr, now uint64, wrongPath bool) AccessResult {
 
 	// Merge onto an in-flight fill if there is one.
 	if ready, ok := h.L1D.Pending(line, now); ok {
-		if h.Pref != nil && h.llcMissPending[line] {
+		merged := h.llcMissHas(line)
+		if h.Pref != nil && merged {
 			// Late-prefetch style merge: correct but not timely.
 			h.Pref.OnPrefetchLate()
 		}
-		return AccessResult{Done: maxU(ready, now+uint64(h.cfg.L1DLatency)), LLCMiss: h.llcMissPending[line], L1DMiss: true}
+		return AccessResult{Done: maxU(ready, now+uint64(h.cfg.L1DLatency)), LLCMiss: merged, L1DMiss: true}
 	}
 
 	if hit, _ := h.L1D.Lookup(line); hit {
@@ -152,7 +187,7 @@ func (h *Hierarchy) Load(addr, now uint64, wrongPath bool) AccessResult {
 	done, llcMiss := h.accessLLC(line, llcAt, false, wrongPath)
 	h.fillL1D(line, done, now, false)
 	if llcMiss && !wrongPath {
-		h.llcMissPending[line] = true
+		h.llcMissAdd(line)
 	}
 
 	// Train the prefetcher on demand L1D misses (correct path only).
@@ -171,7 +206,7 @@ func (h *Hierarchy) Store(addr, now uint64) AccessResult {
 
 	if ready, ok := h.L1D.Pending(line, now); ok {
 		h.L1D.MarkDirty(line) // will be dirty once filled; Insert merged it
-		return AccessResult{Done: maxU(ready, now+uint64(h.cfg.L1DLatency)), LLCMiss: h.llcMissPending[line], L1DMiss: true}
+		return AccessResult{Done: maxU(ready, now+uint64(h.cfg.L1DLatency)), LLCMiss: h.llcMissHas(line), L1DMiss: true}
 	}
 	if hit, _ := h.L1D.Lookup(line); hit {
 		h.St.L1DHits++
@@ -183,7 +218,7 @@ func (h *Hierarchy) Store(addr, now uint64) AccessResult {
 	done, llcMiss := h.accessLLC(line, llcAt, false, false)
 	h.fillL1D(line, done, now, true)
 	if llcMiss {
-		h.llcMissPending[line] = true
+		h.llcMissAdd(line)
 	}
 	return AccessResult{Done: done, LLCMiss: llcMiss, L1DMiss: true}
 }
@@ -319,11 +354,27 @@ func (h *Hierarchy) OutstandingLLCMisses(now uint64) int {
 		if om.done > now {
 			live = append(live, om)
 		} else {
-			delete(h.llcMissPending, om.line)
+			h.llcMissDel(om.line)
 		}
 	}
 	h.outstanding = live
 	return len(h.outstanding)
+}
+
+// NextOutstandingDone returns the earliest completion cycle among in-flight
+// demand LLC misses, and whether any exist. The idle skip uses it to bound
+// how far the clock may jump without changing the per-cycle MLP sample.
+func (h *Hierarchy) NextOutstandingDone() (uint64, bool) {
+	if len(h.outstanding) == 0 {
+		return 0, false
+	}
+	min := h.outstanding[0].done
+	for _, om := range h.outstanding[1:] {
+		if om.done < min {
+			min = om.done
+		}
+	}
+	return min, true
 }
 
 func maxU(a, b uint64) uint64 {

@@ -324,3 +324,9 @@ func (e *Engine) synthAddr() uint64 {
 	}
 	return uint64(line) * e.cfg.LineBytes
 }
+
+// Idle reports that Cycle is a no-op in the engine's current state (not in
+// an interval, or the interval's RS budget is exhausted so the slice can
+// make no further progress). The core's idle-skip may only jump over
+// cycles where this holds.
+func (e *Engine) Idle() bool { return !e.active || e.budgetRS <= 0 }

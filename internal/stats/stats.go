@@ -193,3 +193,79 @@ func (s *Stats) String() string {
 	}
 	return sb.String()
 }
+
+// CycleDelta is the per-cycle statistics change during a provably idle
+// stretch: the only counters a stalled cycle may touch. The event-driven
+// idle skip (DESIGN.md §9) observes one quiet cycle, captures its delta,
+// and replays it k times via AddDelta instead of simulating k cycles.
+type CycleDelta struct {
+	Cycles                uint64
+	CDFModeCycles         uint64
+	FetchStallCycles      uint64
+	ROBFullCycles         uint64
+	RSFullCycles          uint64
+	LQFullCycles          uint64
+	SQFullCycles          uint64
+	FullWindowStallCycles uint64
+	StallROBCritical      uint64
+	StallROBNonCritical   uint64
+	StallROBSamples       uint64
+	MLPSum                uint64
+	MLPCycles             uint64
+}
+
+// DeltaSince returns the change from prev to s, provided that change is
+// confined to the per-idle-cycle counters above. Any movement in another
+// counter means the cycle did work and returns ok=false.
+func (s *Stats) DeltaSince(prev *Stats) (d CycleDelta, ok bool) {
+	d = CycleDelta{
+		Cycles:                s.Cycles - prev.Cycles,
+		CDFModeCycles:         s.CDFModeCycles - prev.CDFModeCycles,
+		FetchStallCycles:      s.FetchStallCycles - prev.FetchStallCycles,
+		ROBFullCycles:         s.ROBFullCycles - prev.ROBFullCycles,
+		RSFullCycles:          s.RSFullCycles - prev.RSFullCycles,
+		LQFullCycles:          s.LQFullCycles - prev.LQFullCycles,
+		SQFullCycles:          s.SQFullCycles - prev.SQFullCycles,
+		FullWindowStallCycles: s.FullWindowStallCycles - prev.FullWindowStallCycles,
+		StallROBCritical:      s.StallROBCritical - prev.StallROBCritical,
+		StallROBNonCritical:   s.StallROBNonCritical - prev.StallROBNonCritical,
+		StallROBSamples:       s.StallROBSamples - prev.StallROBSamples,
+		MLPSum:                s.mlpSum - prev.mlpSum,
+		MLPCycles:             s.mlpCycles - prev.mlpCycles,
+	}
+	// Masked equality: overwrite the whitelisted fields of a copy of prev
+	// with s's values; every other counter must already match (Stats is all
+	// uint64, so struct equality is exact).
+	masked := *prev
+	masked.Cycles = s.Cycles
+	masked.CDFModeCycles = s.CDFModeCycles
+	masked.FetchStallCycles = s.FetchStallCycles
+	masked.ROBFullCycles = s.ROBFullCycles
+	masked.RSFullCycles = s.RSFullCycles
+	masked.LQFullCycles = s.LQFullCycles
+	masked.SQFullCycles = s.SQFullCycles
+	masked.FullWindowStallCycles = s.FullWindowStallCycles
+	masked.StallROBCritical = s.StallROBCritical
+	masked.StallROBNonCritical = s.StallROBNonCritical
+	masked.StallROBSamples = s.StallROBSamples
+	masked.mlpSum = s.mlpSum
+	masked.mlpCycles = s.mlpCycles
+	return d, masked == *s
+}
+
+// AddDelta applies d scaled by k cycles.
+func (s *Stats) AddDelta(d CycleDelta, k uint64) {
+	s.Cycles += d.Cycles * k
+	s.CDFModeCycles += d.CDFModeCycles * k
+	s.FetchStallCycles += d.FetchStallCycles * k
+	s.ROBFullCycles += d.ROBFullCycles * k
+	s.RSFullCycles += d.RSFullCycles * k
+	s.LQFullCycles += d.LQFullCycles * k
+	s.SQFullCycles += d.SQFullCycles * k
+	s.FullWindowStallCycles += d.FullWindowStallCycles * k
+	s.StallROBCritical += d.StallROBCritical * k
+	s.StallROBNonCritical += d.StallROBNonCritical * k
+	s.StallROBSamples += d.StallROBSamples * k
+	s.mlpSum += d.MLPSum * k
+	s.mlpCycles += d.MLPCycles * k
+}
