@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke oracle-smoke bench bench-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke bench bench-smoke ci clean
 
 all: build
 
@@ -33,6 +33,14 @@ fuzz-smoke:
 oracle-smoke: build
 	$(GO) run ./cmd/cdfexperiments -exp fig13 -uops 20000 -seed 1 -oracle
 
+# The crash-safety proof (DESIGN.md §10): a sweep run under seeded fault
+# injection — panics, cache corruption, and repeated process kills — is
+# resumed until it completes, and its table must be byte-identical to an
+# uninterrupted run's. Deterministic: both the sweep and chaos seeds are
+# fixed inside the script.
+chaos-smoke:
+	scripts/chaos_smoke.sh
+
 # Simulator-throughput benchmarks (DESIGN.md §9): the full mode x kernel
 # matrix, reporting uops/s, cycles/s, and allocations. To compare two
 # revisions, save each run and feed the pair to benchstat:
@@ -50,7 +58,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchtime 1x -benchmem . | tee bench-smoke.txt
 	$(GO) test ./internal/core -run TestSteadyStateAllocs -count 1
 
-ci: vet build test race fuzz-smoke oracle-smoke
+ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...

@@ -17,7 +17,10 @@ package cdf
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -28,6 +31,7 @@ import (
 	"cdf/internal/harness"
 	"cdf/internal/oracle"
 	"cdf/internal/stats"
+	"cdf/internal/sweepstore"
 	"cdf/internal/workload"
 )
 
@@ -444,7 +448,13 @@ type runKey struct {
 // in the returned *SweepError while the rest of the sweep completes. The
 // results map holds only the runs that completed; callers must check
 // membership (haveAll) before folding a benchmark into a table.
-func runSet(ctx context.Context, benches []string, modes []Mode, opt Options, jobs int) (map[runKey]Result, *SweepError) {
+//
+// With so.Store set the sweep is additionally crash-safe: cases whose
+// verified results are cached are served without simulating, and every
+// newly simulated case is cached and journaled durably before the pool
+// moves on. Transient failures are retried under so.Retries with capped
+// exponential backoff; deterministic failures fail fast (see runCase).
+func runSet(ctx context.Context, benches []string, modes []Mode, opt Options, so SuiteOptions) (map[runKey]Result, *SweepError) {
 	keys := make([]runKey, 0, len(benches)*len(modes))
 	for _, b := range benches {
 		for _, m := range modes {
@@ -453,10 +463,10 @@ func runSet(ctx context.Context, benches []string, modes []Mode, opt Options, jo
 	}
 	results := make(map[runKey]Result, len(keys))
 	var mu sync.Mutex
-	errs := harness.Pool(ctx, jobs, len(keys), func(ctx context.Context, i int) error {
+	errs := harness.Pool(ctx, so.Jobs, len(keys), func(ctx context.Context, i int) error {
 		o := opt
 		o.Mode = keys[i].mode
-		res, err := RunContext(ctx, keys[i].bench, o)
+		res, _, err := runCase(ctx, keys[i].bench, o, so)
 		if err != nil {
 			return err
 		}
@@ -475,6 +485,150 @@ func runSet(ctx context.Context, benches []string, modes []Mode, opt Options, jo
 		}
 	}
 	return results, sweep
+}
+
+// CaseKey is the content address of one run: a stable hash of the
+// benchmark name, the fully materialized machine configuration (every
+// knob, the seed, the run budget), the oracle setting, and the simulator
+// code version. Two runs share a key only when nothing that could change
+// their result — or its level of verification — differs.
+func CaseKey(benchmark string, opt Options) (string, error) {
+	if err := opt.Validate(); err != nil {
+		return "", err
+	}
+	desc := struct {
+		Bench  string      `json:"bench"`
+		Oracle bool        `json:"oracle"`
+		Config core.Config `json:"config"`
+	}{benchmark, opt.Oracle, opt.coreConfig()}
+	return sweepstore.Key(sweepstore.CodeVersion(), desc)
+}
+
+// RunCached is RunContext backed by a result store: a verified cache hit
+// is returned without simulating (fromCache true); a miss simulates,
+// persists, and journals the result durably. A nil store degrades to
+// plain RunContext.
+func RunCached(ctx context.Context, store *sweepstore.Store, benchmark string, opt Options) (res Result, fromCache bool, err error) {
+	return runCase(ctx, benchmark, opt, SuiteOptions{Store: store})
+}
+
+// runCase executes one case under the sweep's durability and retry
+// policy: serve a verified cache hit, else simulate with per-attempt
+// chaos injection, retrying transient failures (sweepstore.Retryable)
+// under the so.Retries budget with backoff, failing fast on
+// deterministic ones. Completed cases are persisted and journaled before
+// returning; terminal failures (other than cancellation) are journaled.
+func runCase(ctx context.Context, bench string, opt Options, so SuiteOptions) (Result, bool, error) {
+	var key string
+	if so.Store != nil {
+		k, err := CaseKey(bench, opt)
+		if err != nil {
+			return Result{}, false, err
+		}
+		key = k
+		if res, ok := cachedResult(so.Store, key, bench, opt.Mode); ok {
+			return res, true, nil
+		}
+	}
+	// caseID keys the deterministic chaos and jitter draws; the cache key
+	// when durable, else the stable human name.
+	caseID := key
+	if caseID == "" {
+		caseID = bench + "/" + opt.Mode.String()
+	}
+	retries := so.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	bo := sweepstore.Backoff{Seed: opt.Seed}
+	if so.RetryBackoff != nil {
+		bo = *so.RetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := runAttempt(ctx, bench, opt, so.Chaos, caseID, attempt)
+		if err == nil {
+			if so.Store != nil {
+				if perr := persistResult(so.Store, key, res, attempt); perr != nil {
+					// The run succeeded but the durability contract did
+					// not: surface it rather than silently losing
+					// crash-safety the caller asked for.
+					return Result{}, false, fmt.Errorf("cdf: %s/%s: result computed but not persisted: %w",
+						bench, opt.Mode, perr)
+				}
+			}
+			// The kill (if armed) fires only after the case is durable:
+			// exactly the window the resume equivalence proof needs.
+			so.Chaos.CaseSimulated()
+			return res, false, nil
+		}
+		if !sweepstore.Retryable(err) || attempt >= retries {
+			if so.Store != nil && !errors.Is(err, harness.ErrCanceled) && !errors.Is(err, context.Canceled) {
+				// Best-effort terminal-failure record; the failure itself
+				// is already being reported through the SweepError.
+				_ = so.Store.Fail(sweepstore.Record{Key: key, Bench: bench, Mode: opt.Mode.String(),
+					Status: sweepstore.StatusFailed, Reason: failureReason(err), Attempts: attempt + 1})
+			}
+			return Result{}, false, err
+		}
+		if serr := bo.Sleep(ctx, caseID, attempt); serr != nil {
+			return Result{}, false, err // canceled mid-backoff: report the run's own failure
+		}
+	}
+}
+
+// runAttempt is one dispatch of a case: chaos pre-dispatch injection
+// (delay, panic) followed by the hardened run. The recover absorbs
+// injected — and any other in-process — panics into the same *SimError
+// shape a simulator panic produces, so the retry loop treats worker
+// panics uniformly.
+func runAttempt(ctx context.Context, bench string, opt Options, chaos *harness.Chaos, caseID string, attempt int) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &harness.SimError{Reason: harness.ReasonPanic, PanicValue: r,
+				Stack: debug.Stack(), Seed: opt.Seed}
+		}
+	}()
+	chaos.BeforeCase(caseID, attempt)
+	return RunContext(ctx, bench, opt)
+}
+
+// cachedResult fetches and decodes a verified cache entry. Beyond the
+// store's integrity checks, the decoded payload must actually be the
+// requested case's completed result — a store can lose work, it must
+// never substitute it.
+func cachedResult(store *sweepstore.Store, key, bench string, mode Mode) (Result, bool) {
+	payload, ok := store.Get(key)
+	if !ok {
+		return Result{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return Result{}, false
+	}
+	if res.Benchmark != bench || res.Mode != mode || res.StopReason != StopCompleted {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// persistResult caches and journals one completed case.
+func persistResult(store *sweepstore.Store, key string, res Result, attempt int) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return store.Put(key, payload, sweepstore.Record{Bench: res.Benchmark, Mode: res.Mode.String(),
+		Status: sweepstore.StatusDone, Attempts: attempt + 1})
+}
+
+// failureReason maps a case's terminal error to the journal's failure
+// class.
+func failureReason(err error) string {
+	var se *harness.SimError
+	if errors.As(err, &se) {
+		return se.Reason
+	}
+	return "error"
 }
 
 // haveAll reports whether every mode's result for bench completed, i.e.

@@ -10,13 +10,32 @@
 //	cdfexperiments -jobs 4                    # bound the worker pool
 //	cdfexperiments -timeout 2m -paranoid      # per-run wall-clock limit +
 //	                                          # periodic invariant checks
+//	cdfexperiments -cache-dir .sweep          # durable: journal + result cache
+//	cdfexperiments -cache-dir .sweep -resume  # continue an interrupted sweep
+//	cdfexperiments -retries 3                 # retry transient failures
+//	cdfexperiments -chaos seed=1,panic=0.1,killafter=4   # fault injection
 //
 // Runs execute on a bounded worker pool (-jobs, default GOMAXPROCS) with
 // failure isolation: a benchmark that panics, deadlocks (watchdog), or
 // exceeds -timeout is dropped from its table and geomean, reported with a
 // machine-state snapshot at the end, and the process exits non-zero.
-// SIGINT cancels outstanding runs but still flushes the partial tables.
-// Output is deterministic and independent of -jobs.
+// SIGINT cancels outstanding runs but still flushes the partial tables —
+// and, with -cache-dir, fsyncs the journal on the way out, so an
+// interrupted sweep is always resumable.
+//
+// With -cache-dir the sweep is crash-safe: every completed case is
+// written to a content-addressed result cache and an fsync'd journal
+// before the sweep moves on. Restarting with -resume serves completed
+// cases from the cache (after integrity verification; corrupt or
+// code-version-stale entries are re-simulated) and only dispatches the
+// remainder, producing a table bit-identical to an uninterrupted run.
+// -resume also adopts the interrupted sweep's seed from the journal, so
+// a bare `-cache-dir D -resume` continues exactly the sweep it finds.
+// Transient failures (timeout, watchdog, worker panic) are retried up to
+// -retries times with capped exponential backoff; oracle divergences
+// fail fast. -chaos injects seeded, deterministic faults (see
+// harness.ParseChaos) to prove all of the above; an injected kill exits
+// with status 3.
 package main
 
 import (
@@ -34,6 +53,7 @@ import (
 	"cdf/internal/harness"
 	"cdf/internal/profiling"
 	"cdf/internal/report"
+	"cdf/internal/sweepstore"
 )
 
 // geomean adapts cdf.Geomean for table cells: a degenerate aggregate
@@ -66,7 +86,15 @@ var experiments = []struct {
 	{"cucsweep", "Critical Uop Cache capacity sensitivity", runCUCSweep},
 }
 
+// main delegates to run so that deferred cleanup — profile flush and,
+// above all, the journal fsync+close — executes on *every* exit path,
+// including failures and SIGINT. os.Exit anywhere inside run would skip
+// exactly the flush that makes an interrupted sweep resumable.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment name or 'all' (see -list)")
 		uops     = flag.Uint64("uops", 0, "instructions per run (0 = default)")
@@ -79,6 +107,11 @@ func main() {
 		oracle   = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
+		cacheDir  = flag.String("cache-dir", "", "durable sweep state: fsync'd journal + content-addressed result cache")
+		resume    = flag.Bool("resume", false, "resume the sweep in -cache-dir: adopt its seed, serve completed cases from cache")
+		retries   = flag.Int("retries", 0, "per-case retry budget for transient failures (timeout, watchdog, panic)")
+		chaosSpec = flag.String("chaos", "", "deterministic fault injection, e.g. seed=1,panic=0.1,delay=2ms,corrupt=0.05,killafter=4")
+
 		slowPath   = flag.Bool("slowpath", false, "run the reference cycle loop (no scoreboard scheduler or idle skip)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -89,7 +122,7 @@ func main() {
 	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer profStop()
 
@@ -97,7 +130,64 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
 		}
-		return
+		return 0
+	}
+
+	var chaos *harness.Chaos
+	if *chaosSpec != "" {
+		chaos, err = harness.ParseChaos(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
+			return 2
+		}
+	}
+
+	// Durable sweep state. Opened before the seed is fixed: on -resume the
+	// journal's recorded seed wins, so the continued sweep addresses the
+	// same cache entries as the interrupted one.
+	var store *sweepstore.Store
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "cdfexperiments: -resume requires -cache-dir")
+		return 2
+	}
+	if *cacheDir != "" {
+		store, err = sweepstore.Open(*cacheDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
+			return 1
+		}
+		// The deferred Close fsyncs the journal on every exit path —
+		// success, failure, or SIGINT — so the sweep is always resumable.
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "cdfexperiments:", cerr)
+			}
+		}()
+		if meta, ok := store.Meta(); ok {
+			done, failedCases := 0, 0
+			for _, r := range store.Cases() {
+				if r.Status == sweepstore.StatusDone {
+					done++
+				} else {
+					failedCases++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "cdfexperiments: resuming %s: seed %d, %d case(s) journaled done, %d failed\n",
+				*cacheDir, meta.Seed, done, failedCases)
+			switch {
+			case *seed == 0:
+				*seed = meta.Seed
+			case *seed != meta.Seed:
+				fmt.Fprintf(os.Stderr, "cdfexperiments: -seed %d conflicts with the journal's seed %d; drop -seed or start fresh without -resume\n",
+					*seed, meta.Seed)
+				return 2
+			}
+			if *uops != meta.MaxUops || *warmup != meta.WarmupUops {
+				fmt.Fprintf(os.Stderr, "cdfexperiments: -uops/-warmup (%d/%d) conflict with the journal's (%d/%d); match them or start fresh without -resume\n",
+					*uops, *warmup, meta.MaxUops, meta.WarmupUops)
+				return 2
+			}
+		}
 	}
 
 	// The seed is always printed so any failed run can be replayed exactly;
@@ -106,6 +196,13 @@ func main() {
 		*seed = uint64(time.Now().UnixNano())
 	}
 	fmt.Fprintf(os.Stderr, "cdfexperiments: seed %d\n", *seed)
+	if store != nil {
+		if err := store.SetMeta(sweepstore.Record{Seed: *seed, MaxUops: *uops, WarmupUops: *warmup,
+			Version: sweepstore.CodeVersion()}); err != nil {
+			fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
+			return 1
+		}
+	}
 
 	// SIGINT cancels the runs still outstanding; finished results are
 	// still rendered below, so a long sweep can be cut short usefully.
@@ -122,6 +219,12 @@ func main() {
 		Oracle:     *oracle,
 		SlowPath:   *slowPath,
 		Context:    ctx,
+		Store:      store,
+		Retries:    *retries,
+		Chaos:      chaos,
+	}
+	if store != nil && chaos != nil {
+		store.CorruptPut = chaos.CorruptPut
 	}
 	ran, failed := false, false
 	for _, e := range experiments {
@@ -136,7 +239,7 @@ func main() {
 			out, rerr := t.Render(*format)
 			if rerr != nil {
 				fmt.Fprintln(os.Stderr, "cdfexperiments:", rerr)
-				os.Exit(2)
+				return 2
 			}
 			fmt.Println(out)
 		}
@@ -152,12 +255,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cdfexperiments: unknown experiment %q (want %s|all)\n",
 			*exp, strings.Join(names, "|"))
-		os.Exit(2)
+		return 2
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "cdfexperiments: cache: %d served, %d simulated, %d written\n",
+			st.Hits, st.Misses, st.Puts)
 	}
 	if failed {
-		profStop()
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // reportFailure prints an experiment's failed runs to stderr, including

@@ -7,6 +7,7 @@
 //	cdfsim -bench mcf -timeout 2m -paranoid
 //	cdfsim -bench lbm -oracle              # lockstep differential checking
 //	cdfsim -repro repro/repro-divergence-seed7.json
+//	cdfsim -cache-dir .sweep               # serve/record in the result cache
 //	cdfsim -list
 //	cdfsim -print-config
 //
@@ -14,6 +15,12 @@
 // -oracle divergence — exits non-zero and prints the machine-state snapshot
 // captured at the failure. Every run prints its seed, so any failure can be
 // replayed exactly with -seed.
+//
+// With -cache-dir the run goes through the same content-addressed result
+// cache the sweep tool uses: a prior result for the exact same (benchmark,
+// configuration, code version) is served after integrity verification
+// instead of re-simulating, and a fresh result is persisted for later
+// runs. The header line says which happened.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"cdf/internal/harness"
 	"cdf/internal/oracle"
 	"cdf/internal/profiling"
+	"cdf/internal/sweepstore"
 	"cdf/internal/workload"
 )
 
@@ -44,6 +52,8 @@ func main() {
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		prtCfg = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
 		traceN = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
+
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: serve a verified prior result, else simulate and record")
 
 		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		paranoid = flag.Bool("paranoid", false, "run invariant checks during the simulation (~2x slower)")
@@ -119,7 +129,26 @@ func main() {
 		return
 	}
 
-	res, err := cdf.Run(*bench, opt)
+	var (
+		res       cdf.Result
+		fromCache bool
+	)
+	if *cacheDir != "" {
+		// Opened in resume mode: cdfsim shares the store with sweep runs and
+		// must never truncate a sweep's journal just to do one lookup.
+		store, serr := sweepstore.Open(*cacheDir, true)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "cdfsim:", serr)
+			profStop()
+			os.Exit(1)
+		}
+		res, fromCache, err = cdf.RunCached(context.Background(), store, *bench, opt)
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	} else {
+		res, err = cdf.Run(*bench, opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdfsim:", err)
 		printFailureDetail(os.Stderr, err)
@@ -127,6 +156,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cacheDir != "" {
+		if fromCache {
+			fmt.Printf("cache       hit (result served from %s)\n", *cacheDir)
+		} else {
+			fmt.Printf("cache       miss (simulated; result recorded to %s)\n", *cacheDir)
+		}
+	}
 	fmt.Printf("benchmark   %s (%s)\n", res.Benchmark, *mode)
 	fmt.Printf("stop reason %s\n", res.StopReason)
 	fmt.Printf("cycles      %d\n", res.Cycles)

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"cdf/internal/core"
+	"cdf/internal/harness"
 	"cdf/internal/stats"
+	"cdf/internal/sweepstore"
 )
 
 // SuiteOptions configures a whole-suite experiment.
@@ -51,6 +53,32 @@ type SuiteOptions struct {
 	// finished when the context fires are kept, so partial tables can
 	// still be rendered after e.g. a SIGINT.
 	Context context.Context
+
+	// Store makes the sweep crash-safe (nil = no durability): every
+	// completed case is written to the content-addressed result cache and
+	// journaled — fsync'd — before the sweep moves on, and cases whose
+	// verified results are already cached are served without simulating.
+	// A corrupt, truncated, or code-version-stale cache entry is treated
+	// as a miss and re-simulated, never trusted.
+	Store *sweepstore.Store
+
+	// Retries is the per-case retry budget for transient failures
+	// (timeouts, watchdog trips, worker panics), consumed attempt by
+	// attempt with capped exponential backoff. Deterministic failures —
+	// an oracle divergence above all — fail fast and never consume it.
+	Retries int
+
+	// RetryBackoff overrides the backoff policy between retries (nil =
+	// sweepstore defaults: 100ms base, doubling, 5s cap, half-width
+	// deterministic jitter).
+	RetryBackoff *sweepstore.Backoff
+
+	// Chaos injects seeded, deterministic faults — pre-dispatch panics
+	// and delays, cache-write corruption, a mid-sweep process kill — into
+	// the sweep (nil = none). It exists for the -chaos smoke mode and the
+	// resume-equivalence tests; injected faults may cost retries and
+	// resumes but never change a row.
+	Chaos *harness.Chaos
 }
 
 func (o SuiteOptions) benches() []string {
@@ -136,7 +164,7 @@ func Fig1ROBOccupancy(o SuiteOptions) ([]Fig1Row, error) {
 	benches := o.benches()
 	opt := o.runOptions()
 	opt.TrainCriticality = true
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, opt, o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, opt, o)
 	rows := make([]Fig1Row, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline) {
@@ -168,7 +196,7 @@ type Fig13Row struct {
 // bars.
 func Fig13Speedup(o SuiteOptions) ([]Fig13Row, error) {
 	benches := o.benches()
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o)
 	rows := make([]Fig13Row, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
@@ -216,7 +244,7 @@ type Fig14Row struct {
 // wrong-path loads that do not convert to speedup, while CDF's convert.
 func Fig14MLP(o SuiteOptions) ([]Fig14Row, error) {
 	benches := o.benches()
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o)
 	rows := make([]Fig14Row, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
@@ -250,7 +278,7 @@ type Fig15Row struct {
 // (the paper reports CDF generating 4% less extra traffic than PRE).
 func Fig15Traffic(o SuiteOptions) ([]Fig15Row, error) {
 	benches := o.benches()
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o)
 	rows := make([]Fig15Row, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
@@ -282,7 +310,7 @@ type Fig16Row struct {
 // baseline (the paper: CDF −3.5%, PRE +3.7%).
 func Fig16Energy(o SuiteOptions) ([]Fig16Row, error) {
 	benches := o.benches()
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE}, o.runOptions(), o)
 	rows := make([]Fig16Row, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE) {
@@ -325,13 +353,13 @@ func Fig17Scaling(o SuiteOptions, robSizes []int) ([]Fig17Row, error) {
 
 	// Reference: Table 1 baseline.
 	refOpt := o.runOptions()
-	ref, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, refOpt, o.Jobs)
+	ref, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, refOpt, o)
 
 	var rows []Fig17Row
 	for _, rob := range robSizes {
 		opt := o.runOptions()
 		opt.ROBSize = rob
-		results, s := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, opt, o.Jobs)
+		results, s := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, opt, o)
 		sweep = sweep.merge(s)
 		var bIPC, cIPC, bEn, cEn []float64
 		for _, b := range benches {
@@ -384,11 +412,11 @@ type AblationRow struct {
 // the paper), with astar/bzip/mcf/soplex affected most.
 func AblationNoCriticalBranches(o SuiteOptions) ([]AblationRow, error) {
 	benches := o.benches()
-	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
+	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o)
 	off := false
 	noBr := o.runOptions()
 	noBr.MarkCriticalBranches = &off
-	noBrRes, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, noBr, o.Jobs)
+	noBrRes, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, noBr, o)
 	sweep = sweep.merge(s)
 	rows := make([]AblationRow, 0, len(benches))
 	for _, b := range benches {

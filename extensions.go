@@ -27,7 +27,7 @@ type HybridRow struct {
 // PRE's dense stencils).
 func HybridComparison(o SuiteOptions) ([]HybridRow, error) {
 	benches := o.benches()
-	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE, ModeHybrid}, o.runOptions(), o.Jobs)
+	results, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF, ModePRE, ModeHybrid}, o.runOptions(), o)
 	rows := make([]HybridRow, 0, len(benches))
 	for _, b := range benches {
 		if !haveAll(results, b, ModeBaseline, ModeCDF, ModePRE, ModeHybrid) {
@@ -55,10 +55,10 @@ type PartitionAblationRow struct {
 // 3/4 skew and compares against the adaptive controller (§3.5).
 func AblationStaticPartition(o SuiteOptions) ([]PartitionAblationRow, error) {
 	benches := o.benches()
-	dyn, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
+	dyn, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o)
 	opt := o.runOptions()
 	opt.StaticPartition = true
-	static, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+	static, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o)
 	sweep = sweep.merge(s)
 	rows := make([]PartitionAblationRow, 0, len(benches))
 	for _, b := range benches {
@@ -88,10 +88,10 @@ type MaskAblationRow struct {
 // more register dependence violations (and the flushes they cost).
 func AblationNoMaskCache(o SuiteOptions) ([]MaskAblationRow, error) {
 	benches := o.benches()
-	with, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o.Jobs)
+	with, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline, ModeCDF}, o.runOptions(), o)
 	opt := o.runOptions()
 	opt.NoMaskCache = true
-	without, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+	without, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o)
 	sweep = sweep.merge(s)
 	rows := make([]MaskAblationRow, 0, len(benches))
 	for _, b := range benches {
@@ -126,12 +126,12 @@ func SweepCUCSize(o SuiteOptions, sizesKB []int) ([]CUCSweepRow, error) {
 		sizesKB = DefaultCUCSweepKB
 	}
 	benches := o.benches()
-	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, o.runOptions(), o.Jobs)
+	base, sweep := runSet(o.ctx(), benches, []Mode{ModeBaseline}, o.runOptions(), o)
 	var rows []CUCSweepRow
 	for _, kb := range sizesKB {
 		opt := o.runOptions()
 		opt.CUCKB = kb
-		res, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o.Jobs)
+		res, s := runSet(o.ctx(), benches, []Mode{ModeCDF}, opt, o)
 		sweep = sweep.merge(s)
 		var sp []float64
 		for _, b := range benches {

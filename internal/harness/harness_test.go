@@ -189,6 +189,52 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestPoolCancellationDispatchStops pins the prompt-cancellation
+// contract: after ctx is canceled, not one additional queued index is
+// dispatched — in-flight items drain, everything else is marked with
+// ctx.Err() — and Pool returns as soon as the in-flight items finish.
+func TestPoolCancellationDispatchStops(t *testing.T) {
+	const workers, n = 2, 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var dispatched atomic.Int64
+	inFlight := make(chan struct{}, workers)
+	go func() { // cancel once both workers hold an in-flight item
+		for i := 0; i < workers; i++ {
+			<-inFlight
+		}
+		cancel()
+	}()
+	errs := Pool(ctx, workers, n, func(ctx context.Context, i int) error {
+		dispatched.Add(1)
+		inFlight <- struct{}{}
+		<-ctx.Done() // block until the sweep is canceled
+		return ctx.Err()
+	})
+	// Pool has returned: every item either ran (and was canceled inside)
+	// or was drained without dispatch.
+	if got := dispatched.Load(); got != workers {
+		t.Fatalf("%d items dispatched, want exactly the %d in flight at cancellation", got, workers)
+	}
+	ran, drained := 0, 0
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("item %d reported success during a canceled sweep", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("item %d: %v, want context.Canceled", i, err)
+		}
+		if i < workers {
+			ran++
+		} else {
+			drained++
+		}
+	}
+	if ran != workers || drained != n-workers {
+		t.Fatalf("ran %d / drained %d, want %d / %d", ran, drained, workers, n-workers)
+	}
+}
+
 func TestPoolCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64

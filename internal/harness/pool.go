@@ -12,9 +12,13 @@ import (
 // Pool runs fn(ctx, i) for every i in [0, n) on at most workers
 // goroutines, isolating failures: one item's error (or panic) never stops
 // the others. It returns a slice of n per-item errors, nil on success.
-// workers <= 0 means GOMAXPROCS. When ctx is canceled, items not yet
-// started fail with ctx.Err(); items already running finish normally
-// (their own fn is responsible for honouring ctx).
+// workers <= 0 means GOMAXPROCS.
+//
+// Cancellation is prompt: once ctx is canceled, no queued index is ever
+// dispatched — each worker drains the remaining indices, marking them
+// with ctx.Err(), and Pool returns as soon as the in-flight fn calls
+// finish (each fn is itself responsible for honouring ctx and returning
+// early). TestPoolCancellationDispatchStops pins this behaviour.
 func Pool(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) []error {
 	if n <= 0 {
 		return nil
@@ -38,8 +42,17 @@ func Pool(ctx context.Context, workers, n int, fn func(ctx context.Context, i in
 					return
 				}
 				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
+					// Canceled: drain every index still queued without
+					// starting it, then exit. The claim counter keeps
+					// draining workers and a possible in-flight dispatch
+					// race-free: each index is claimed exactly once.
+					for {
+						errs[i] = err
+						i = int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+					}
 				}
 				errs[i] = protect(ctx, i, fn)
 			}

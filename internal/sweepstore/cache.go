@@ -1,0 +1,141 @@
+package sweepstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CacheFormat is the cache entry format version; entries written under
+// other versions are misses.
+const CacheFormat = 1
+
+// Key derives the content address for a result: a SHA-256 over the cache
+// format, the code version, and the canonical JSON of each part (the
+// case descriptor and the materialized machine configuration). Any change
+// to any input — a config knob, the seed, the simulator revision —
+// produces a different key, so a lookup can only ever return a result
+// computed from exactly the same inputs by exactly the same code.
+func Key(version string, parts ...any) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweepstore/%d\x00%s\x00", CacheFormat, version)
+	for _, p := range parts {
+		enc, err := json.Marshal(p)
+		if err != nil {
+			return "", fmt.Errorf("sweepstore: key: %w", err)
+		}
+		h.Write(enc)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// entry is the on-disk envelope of one cached result. The payload is
+// stored verbatim; Sum is its SHA-256, verified on every read so silent
+// disk corruption surfaces as a miss, never as a wrong row.
+type entry struct {
+	Format  int             `json:"format"`
+	Key     string          `json:"key"`
+	Version string          `json:"version"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Cache is the content-addressed object store under <dir>. Entries are
+// immutable once written; writers go through a temp file + rename so a
+// kill mid-write leaves either the old state or the complete new entry,
+// never a half-written file under the final name.
+type Cache struct {
+	dir string
+}
+
+// path shards entries by the first key byte, keeping directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the payload stored under key after verifying the entry end
+// to end. Every failure mode — absent, unreadable, truncated JSON, format
+// or key or version mismatch, payload checksum mismatch — is a miss: a
+// cache can lose work, it must never fabricate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if len(key) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Format != CacheFormat || e.Key != key || e.Version != CodeVersion() {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, false
+	}
+	return e.Payload, true
+}
+
+// put writes payload under key. With corrupt set (the chaos hook), one
+// byte of the encoded entry is flipped after checksumming, so the file
+// lands on disk damaged exactly as a bad sector would leave it.
+func (c *Cache) put(key string, payload []byte, corrupt bool) error {
+	if len(key) < 2 {
+		return fmt.Errorf("sweepstore: cache: short key %q", key)
+	}
+	sum := sha256.Sum256(payload)
+	e := entry{Format: CacheFormat, Key: key, Version: CodeVersion(),
+		Sum: hex.EncodeToString(sum[:]), Payload: payload}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	if corrupt {
+		data[len(data)/2] ^= 0x40
+	}
+	final := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "put-*")
+	if err != nil {
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("sweepstore: cache: %w", err)
+	}
+	return syncDir(filepath.Dir(final))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best-effort: some platforms refuse directory fsync
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && err != io.EOF {
+		return nil // ditto
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package sweepstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openStore(t *testing.T, dir string, resume bool) *Store {
+	t.Helper()
+	s, err := Open(dir, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestKeyStability(t *testing.T) {
+	k1, err := Key("v1", map[string]int{"rob": 352}, "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("v1", map[string]int{"rob": 352}, "astar")
+	if k1 != k2 {
+		t.Fatal("identical inputs produced different keys")
+	}
+	if k3, _ := Key("v1", map[string]int{"rob": 512}, "astar"); k3 == k1 {
+		t.Fatal("config change did not change the key")
+	}
+	if k4, _ := Key("v2", map[string]int{"rob": 352}, "astar"); k4 == k1 {
+		t.Fatal("code-version change did not change the key")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir(), false)
+	key, _ := Key(CodeVersion(), "roundtrip")
+	payload, _ := json.Marshal(map[string]float64{"ipc": 1.25})
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit before put")
+	}
+	if err := s.Put(key, payload, Record{Bench: "astar", Mode: "cdf", Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mangled: %s != %s", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1/1/1", st)
+	}
+}
+
+// TestCacheCorruptPayloadIsMiss damages the stored payload on disk: the
+// checksum must catch it and Get must report a miss, never the damaged
+// bytes.
+func TestCacheCorruptPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, false)
+	key, _ := Key(CodeVersion(), "corrupt-me")
+	payload, _ := json.Marshal(map[string]string{"v": "original"})
+	if err := s.Put(key, payload, Record{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", key[:2], key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the stored payload field.
+	idx := -1
+	for i := range data {
+		if data[i] == 'o' { // inside "original"
+			idx = i
+		}
+	}
+	data[idx] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+// TestCacheChaosCorruptionHook exercises the injected-corruption path the
+// chaos harness uses: the write succeeds, the read detects the damage.
+func TestCacheChaosCorruptionHook(t *testing.T) {
+	s := openStore(t, t.TempDir(), false)
+	s.CorruptPut = func() bool { return true }
+	key, _ := Key(CodeVersion(), "chaos")
+	payload, _ := json.Marshal(map[string]int{"n": 7})
+	if err := s.Put(key, payload, Record{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("chaos-corrupted entry served as a hit")
+	}
+}
+
+// TestCacheVersionStaleIsMiss: an entry written by another code version
+// must not satisfy this version's lookups, even at the same key.
+func TestCacheVersionStaleIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key("shared-key-version", "payload") // key deliberately version-independent
+	prev := SetCodeVersion("rev-A")
+	defer SetCodeVersion(prev)
+	s := openStore(t, dir, false)
+	payload := []byte(`{"ipc":1}`)
+	if err := s.Put(key, payload, Record{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("same-version lookup missed")
+	}
+	SetCodeVersion("rev-B")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("entry from rev-A served under rev-B")
+	}
+}
+
+func TestCacheTruncatedEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, false)
+	key, _ := Key(CodeVersion(), "truncate")
+	if err := s.Put(key, []byte(`{"ipc":2}`), Record{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", key[:2], key+".json")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+}
+
+// TestCacheWrongKeyFileIsMiss: an entry renamed to a different key path
+// (or a hash collision in a damaged store) must fail the embedded-key
+// check.
+func TestCacheWrongKeyFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, false)
+	k1, _ := Key(CodeVersion(), "one")
+	k2, _ := Key(CodeVersion(), "two")
+	if err := s.Put(k1, []byte(`{"ipc":3}`), Record{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "objects", k1[:2], k1+".json")
+	dst := filepath.Join(dir, "objects", k2[:2], k2+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(src)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("entry with mismatched embedded key served as a hit")
+	}
+}
+
+func TestStoreResumeKeepsJournalAndCache(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key(CodeVersion(), "persist")
+	s1, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SetMeta(Record{Seed: 7, MaxUops: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, []byte(`{"ipc":4}`), Record{Bench: "astar", Mode: "cdf", Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, true)
+	meta, ok := s2.Meta()
+	if !ok || meta.Seed != 7 {
+		t.Fatalf("meta lost across resume: %+v ok=%v", meta, ok)
+	}
+	if n := len(s2.Cases()); n != 1 {
+		t.Fatalf("recovered %d case records, want 1", n)
+	}
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("cache entry lost across resume")
+	}
+	// SetMeta on resume must not duplicate the record.
+	if err := s2.SetMeta(Record{Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if meta, _ = s2.Meta(); meta.Seed != 7 {
+		t.Fatal("SetMeta on resume overwrote the recorded identity")
+	}
+}

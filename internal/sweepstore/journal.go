@@ -1,0 +1,214 @@
+package sweepstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalFormat is the journal record format version; records written
+// under other versions are ignored on recovery.
+const JournalFormat = 1
+
+// Record types.
+const (
+	RecordMeta = "meta" // one per journal: sweep-level identity
+	RecordCase = "case" // one per completed or failed case
+)
+
+// Case statuses in Record.Status.
+const (
+	StatusDone   = "done"   // completed; result cached under Key
+	StatusFailed = "failed" // terminally failed; Reason says how
+)
+
+// Record is one journal entry. Meta records carry the sweep identity
+// (seed, run length, code version) so a resumed sweep can adopt them;
+// case records mark one (benchmark, mode) case durably completed or
+// terminally failed.
+type Record struct {
+	Format int    `json:"format"`
+	Type   string `json:"type"` // RecordMeta | RecordCase
+
+	// Meta fields.
+	Seed       uint64 `json:"seed,omitempty"`
+	MaxUops    uint64 `json:"max_uops,omitempty"`
+	WarmupUops uint64 `json:"warmup_uops,omitempty"`
+	Version    string `json:"version,omitempty"` // CodeVersion at sweep start
+
+	// Case fields.
+	Key      string `json:"key,omitempty"` // cache key (StatusDone)
+	Bench    string `json:"bench,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	Status   string `json:"status,omitempty"` // StatusDone | StatusFailed
+	Reason   string `json:"reason,omitempty"` // failure class (StatusFailed)
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// Journal is an append-only, fsync'd progress log. Each record is one
+// line, "crc32c-hex SP json LF": the checksum makes a record atomic at
+// any byte boundary — a line torn by a kill mid-write fails its checksum
+// (or has none) and recovery truncates the file back to the last intact
+// record, so appends after a crash never splice onto garbage.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	recs []Record
+}
+
+// castagnoli is the CRC-32C table (the checksum used per record).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenJournal opens path for appending. With resume set, existing intact
+// records are recovered (and returned via meta/cases); without it the
+// file is truncated to empty. In both cases the file is positioned so the
+// next Append lands on a record boundary.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if !resume {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweepstore: journal: %w", err)
+		}
+		return j, nil
+	}
+	good, recs, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop any torn tail so the next append starts a fresh record.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	j.recs = recs
+	return j, nil
+}
+
+// scanJournal returns the byte offset just past the last intact record
+// plus the decoded records. Anything after the first damaged or torn
+// line — a kill can land mid-write — is ignored.
+func scanJournal(f *os.File) (good int64, recs []Record, err error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	off := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn final line: no terminator yet
+		}
+		line := data[:nl]
+		rec, ok := decodeLine(line)
+		if !ok {
+			break // damaged record: everything after it is untrusted
+		}
+		if rec.Format == JournalFormat {
+			recs = append(recs, rec)
+		}
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return off, recs, nil
+}
+
+// decodeLine parses "crc32c-hex SP json", verifying the checksum.
+func decodeLine(line []byte) (Record, bool) {
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return Record{}, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Record{}, false
+	}
+	body := line[sp+1:]
+	if crc32.Checksum(body, castagnoli) != sum {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Append writes rec as one checksummed line and fsyncs before returning:
+// once Append returns, the record survives a SIGKILL.
+func (j *Journal) Append(rec Record) error {
+	rec.Format = JournalFormat
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(body, castagnoli), body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("sweepstore: journal %s: closed", j.path)
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweepstore: journal: %w", err)
+	}
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+// meta returns the first meta record, when present.
+func (j *Journal) meta() (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range j.recs {
+		if r.Type == RecordMeta {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// cases returns the case records in append order.
+func (j *Journal) cases() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Record
+	for _, r := range j.recs {
+		if r.Type == RecordCase {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Close fsyncs and closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("sweepstore: journal: %w", syncErr)
+	}
+	return closeErr
+}

@@ -1,0 +1,179 @@
+package sweepstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func caseRec(bench string, n int) Record {
+	return Record{Type: RecordCase, Bench: bench, Mode: "cdf", Status: StatusDone,
+		Key: "00deadbeef", Attempts: n}
+}
+
+func TestJournalAppendAndRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: RecordMeta, Seed: 42, MaxUops: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(caseRec("astar", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	meta, ok := j2.meta()
+	if !ok || meta.Seed != 42 || meta.MaxUops != 5000 {
+		t.Fatalf("meta not recovered: %+v ok=%v", meta, ok)
+	}
+	cases := j2.cases()
+	if len(cases) != 3 {
+		t.Fatalf("recovered %d case records, want 3", len(cases))
+	}
+	for i, r := range cases {
+		if r.Bench != "astar" || r.Attempts != i {
+			t.Fatalf("record %d mangled: %+v", i, r)
+		}
+	}
+}
+
+// TestJournalKillAtEveryByte truncates the journal at every possible byte
+// boundary — the on-disk states a SIGKILL mid-write can leave — and
+// checks that recovery always yields an intact prefix of the records and
+// that appending afterwards works cleanly.
+func TestJournalKillAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	j, err := OpenJournal(full, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := j.Append(caseRec("mcf", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := filepath.Join(dir, "cut.log")
+	for size := 0; size <= len(data); size++ {
+		if err := os.WriteFile(cut, data[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jc, err := OpenJournal(cut, true)
+		if err != nil {
+			t.Fatalf("size %d: open: %v", size, err)
+		}
+		recs := jc.cases()
+		for i, r := range recs {
+			if r.Attempts != i {
+				t.Fatalf("size %d: record %d out of order: %+v", size, i, r)
+			}
+		}
+		// Recovery must be appendable: a record written after the torn
+		// tail has to survive the next recovery.
+		if err := jc.Append(caseRec("post", 99)); err != nil {
+			t.Fatalf("size %d: append after recovery: %v", size, err)
+		}
+		if err := jc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		jr, err := OpenJournal(cut, true)
+		if err != nil {
+			t.Fatalf("size %d: reopen: %v", size, err)
+		}
+		recs2 := jr.cases()
+		if len(recs2) != len(recs)+1 {
+			t.Fatalf("size %d: want %d records after append, got %d", size, len(recs)+1, len(recs2))
+		}
+		last := recs2[len(recs2)-1]
+		if last.Bench != "post" || last.Attempts != 99 {
+			t.Fatalf("size %d: appended record mangled: %+v", size, last)
+		}
+		jr.Close()
+	}
+}
+
+// TestJournalDamagedMiddleStopsReplay flips a byte inside an early record:
+// everything from the damaged record on must be distrusted and dropped.
+func TestJournalDamagedMiddleStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(caseRec("lbm", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte in the second record's JSON body.
+	lineLen := 0
+	for i, b := range data {
+		if b == '\n' {
+			lineLen = i + 1
+			break
+		}
+	}
+	data[lineLen+20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := len(j2.cases()); got != 1 {
+		t.Fatalf("replayed %d records past a damaged one, want 1", got)
+	}
+}
+
+func TestJournalFreshOpenDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(caseRec("astar", 0))
+	j.Close()
+	j2, err := OpenJournal(path, false) // resume=false: start over
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.cases()) != 0 {
+		t.Fatal("fresh open kept old records")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("fresh open left %d bytes", fi.Size())
+	}
+}

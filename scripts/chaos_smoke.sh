@@ -1,0 +1,79 @@
+#!/bin/sh
+# chaos_smoke.sh — the end-to-end crash-safety proof (ISSUE 6, DESIGN.md §10).
+#
+# Runs a real sweep under seeded fault injection: panics that eat retries,
+# corrupted cache writes that must be detected and re-simulated, and a
+# process kill (exit 3) after every few simulated cases. The sweep is then
+# resumed — exactly as an operator would after a crash — until it finishes,
+# and its rendered table must be byte-identical to an uninterrupted run's.
+#
+# Everything is deterministic: the sweep seed and the chaos seed are fixed,
+# so a failure here reproduces exactly. The chaos parameters are chosen so
+# no case deterministically exhausts its retry budget (injection draws are
+# keyed per (case, attempt), so a bad seed would fail forever, not flake).
+#
+# Usage: scripts/chaos_smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work="${1:-$(mktemp -d /tmp/cdf-chaos.XXXXXX)}"
+mkdir -p "$work"
+bin="$work/cdfexperiments"
+store="$work/sweep"
+chaos='seed=1,panic=0.15,delay=1ms,corrupt=0.1,killafter=6'
+exp='fig13'
+uops=2000
+seed=7
+max_resumes=30
+
+echo "chaos-smoke: workdir $work"
+go build -o "$bin" ./cmd/cdfexperiments
+
+# Reference: the same sweep, uninterrupted and chaos-free.
+"$bin" -exp "$exp" -uops "$uops" -seed "$seed" -format csv >"$work/clean.csv" 2>"$work/clean.err"
+
+# Chaos sweep: first run starts the journal; every subsequent run resumes
+# it (adopting the journal's seed). Exit 3 is an injected kill — expected;
+# any other non-zero exit is a real failure.
+rm -rf "$store"
+i=0
+while :; do
+    i=$((i + 1))
+    if [ "$i" -gt "$max_resumes" ]; then
+        echo "chaos-smoke: FAIL: no convergence after $max_resumes resumes" >&2
+        exit 1
+    fi
+    if [ "$i" -eq 1 ]; then
+        set -- -seed "$seed"
+    else
+        set -- -resume
+    fi
+    rc=0
+    "$bin" -exp "$exp" -uops "$uops" -format csv \
+        -cache-dir "$store" -retries 3 -chaos "$chaos" "$@" \
+        >"$work/chaos.csv" 2>"$work/chaos.err" || rc=$?
+    case "$rc" in
+    0) break ;;
+    3) echo "chaos-smoke: run $i killed by chaos; resuming" ;;
+    *)
+        echo "chaos-smoke: FAIL: run $i exited $rc" >&2
+        cat "$work/chaos.err" >&2
+        exit 1
+        ;;
+    esac
+done
+
+if [ "$i" -lt 2 ]; then
+    echo "chaos-smoke: FAIL: chaos never killed the sweep; nothing was proven" >&2
+    exit 1
+fi
+
+if ! cmp -s "$work/clean.csv" "$work/chaos.csv"; then
+    echo "chaos-smoke: FAIL: resumed sweep output differs from clean run" >&2
+    diff "$work/clean.csv" "$work/chaos.csv" >&2 || true
+    exit 1
+fi
+
+grep '^cdfexperiments: cache:' "$work/chaos.err" || true
+echo "chaos-smoke: PASS: converged after $i run(s); output byte-identical to clean sweep"
