@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke bench bench-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke shellcheck bench bench-smoke ci clean
 
 all: build
 
@@ -41,6 +41,23 @@ oracle-smoke: build
 chaos-smoke:
 	scripts/chaos_smoke.sh
 
+# The sweep-service fault-isolation proof (DESIGN.md §11): a cdfsweepd
+# server under seeded worker kills is SIGKILLed mid-job, restarted on the
+# same cache dir, and must complete the recovered job with a table
+# byte-identical to an uninterrupted server's; SIGTERM must drain with
+# exit 0.
+sweepd-smoke:
+	scripts/sweepd_smoke.sh
+
+# Lint the smoke scripts. Skips gracefully where shellcheck is not
+# installed (CI's ubuntu runners have it).
+shellcheck:
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping"; \
+	fi
+
 # Simulator-throughput benchmarks (DESIGN.md §9): the full mode x kernel
 # matrix, reporting uops/s, cycles/s, and allocations. To compare two
 # revisions, save each run and feed the pair to benchstat:
@@ -58,7 +75,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchtime 1x -benchmem . | tee bench-smoke.txt
 	$(GO) test ./internal/core -run TestSteadyStateAllocs -count 1
 
-ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke
+ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke shellcheck
 
 clean:
 	$(GO) clean ./...

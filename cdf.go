@@ -570,6 +570,9 @@ func runCase(ctx context.Context, bench string, opt Options, so SuiteOptions) (R
 			}
 			return Result{}, false, err
 		}
+		if so.Store != nil {
+			so.Store.NoteRetry()
+		}
 		if serr := bo.Sleep(ctx, caseID, attempt); serr != nil {
 			return Result{}, false, err // canceled mid-backoff: report the run's own failure
 		}

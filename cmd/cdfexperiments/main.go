@@ -259,8 +259,8 @@ func run() int {
 	}
 	if store != nil {
 		st := store.Stats()
-		fmt.Fprintf(os.Stderr, "cdfexperiments: cache: %d served, %d simulated, %d written\n",
-			st.Hits, st.Misses, st.Puts)
+		fmt.Fprintf(os.Stderr, "cdfexperiments: cache: %d served, %d simulated, %d written, %d retried\n",
+			st.Hits, st.Misses, st.Puts, st.Retries)
 	}
 	if failed {
 		return 1

@@ -8,6 +8,7 @@
 //	cdfsim -bench lbm -oracle              # lockstep differential checking
 //	cdfsim -repro repro/repro-divergence-seed7.json
 //	cdfsim -cache-dir .sweep               # serve/record in the result cache
+//	cdfsim -worker                         # sweep-service worker (see cdfsweepd)
 //	cdfsim -list
 //	cdfsim -print-config
 //
@@ -36,6 +37,7 @@ import (
 	"cdf/internal/harness"
 	"cdf/internal/oracle"
 	"cdf/internal/profiling"
+	"cdf/internal/sweepd"
 	"cdf/internal/sweepstore"
 	"cdf/internal/workload"
 )
@@ -60,6 +62,10 @@ func main() {
 		oracleOn = flag.Bool("oracle", false, "check every retired uop against the functional emulator in lockstep")
 		repro    = flag.String("repro", "", "replay a repro artifact written by the failure minimizer, then exit")
 
+		workerMode = flag.Bool("worker", false, "sweep-service worker mode: serve case requests on stdin/stdout (see cdfsweepd)")
+		workerHB   = flag.Duration("worker-hb", 0, "worker heartbeat period (0 = default); only with -worker")
+		chaosSpec  = flag.String("chaos", "", "deterministic fault injection in -worker mode, e.g. seed=1,workerkill=0.2,hbstall=0.1")
+
 		slowPath   = flag.Bool("slowpath", false, "run the reference cycle loop (no scoreboard scheduler or idle skip)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -74,6 +80,24 @@ func main() {
 	}
 	defer profStop()
 
+	if *workerMode {
+		// Subprocess worker for the sweep service: no terminal output, no
+		// cache access — the supervisor owns persistence. Exit 0 on clean
+		// retirement (stdin EOF); anything else is a protocol failure.
+		var chaos *harness.Chaos
+		if *chaosSpec != "" {
+			chaos, err = harness.ParseChaos(*chaosSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdfsim:", err)
+				os.Exit(2)
+			}
+		}
+		if err := sweepd.RunWorker(os.Stdin, os.Stdout, chaos, *workerHB); err != nil {
+			fmt.Fprintln(os.Stderr, "cdfsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *prtCfg {
 		fmt.Print(cdf.Table1Config())
 		return

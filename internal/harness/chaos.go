@@ -47,6 +47,28 @@ type ChaosConfig struct {
 	// count, so every attempt of a kill/resume cycle makes progress and a
 	// sweep resumed enough times always finishes. 0 disables.
 	KillAfter int
+
+	// WorkerKillProb is the probability that a subprocess worker kills
+	// itself (via Exit) mid-case: after accepting the dispatch, before
+	// writing any result. The supervisor sees the pipe close and must
+	// requeue the case on a fresh worker. Keyed per (case, attempt), so
+	// retries draw fresh and a killed case eventually completes.
+	WorkerKillProb float64
+
+	// StallProb is the probability that a subprocess worker wedges
+	// mid-case: it stops emitting heartbeats and never responds,
+	// simulating an infinite loop inside one cycle or a livelocked
+	// worker. The supervisor's heartbeat timeout must kill and requeue.
+	// StallFor bounds the wedge for safety (0 = 1h, far beyond any
+	// heartbeat timeout).
+	StallProb float64
+	StallFor  time.Duration
+
+	// SlowProb injects a delay of up to SlowFor (0 = 200ms) into a
+	// worker's case execution *while heartbeats keep flowing*: a slow
+	// worker is healthy and must never be confused with a wedged one.
+	SlowProb float64
+	SlowFor  time.Duration
 }
 
 // Chaos injects deterministic faults into a sweep. The zero of *Chaos
@@ -73,9 +95,11 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 // ParseChaos parses a -chaos flag spec: comma-separated key=value pairs
 //
 //	seed=7,panic=0.15,delay=2ms,delayprob=0.5,corrupt=0.1,killafter=4
+//	seed=1,workerkill=0.2,hbstall=0.1,hbstallfor=1h,slow=0.3,slowfor=500ms
 //
 // Unknown keys are errors. delay sets MaxDelay; delayprob defaults to 1
-// when a delay is given.
+// when a delay is given. workerkill/hbstall/slow are the subprocess-worker
+// faults interpreted by `cdfsim -worker` (see internal/sweepd).
 func ParseChaos(spec string) (*Chaos, error) {
 	cfg := ChaosConfig{}
 	delayProbSet := false
@@ -103,8 +127,18 @@ func ParseChaos(spec string) (*Chaos, error) {
 			cfg.CorruptProb, err = strconv.ParseFloat(v, 64)
 		case "killafter":
 			cfg.KillAfter, err = strconv.Atoi(v)
+		case "workerkill":
+			cfg.WorkerKillProb, err = strconv.ParseFloat(v, 64)
+		case "hbstall":
+			cfg.StallProb, err = strconv.ParseFloat(v, 64)
+		case "hbstallfor":
+			cfg.StallFor, err = time.ParseDuration(v)
+		case "slow":
+			cfg.SlowProb, err = strconv.ParseFloat(v, 64)
+		case "slowfor":
+			cfg.SlowFor, err = time.ParseDuration(v)
 		default:
-			return nil, fmt.Errorf("harness: chaos: unknown key %q (want seed|panic|delay|delayprob|corrupt|killafter)", k)
+			return nil, fmt.Errorf("harness: chaos: unknown key %q (want seed|panic|delay|delayprob|corrupt|killafter|workerkill|hbstall|hbstallfor|slow|slowfor)", k)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("harness: chaos: %s: %w", k, err)
@@ -113,7 +147,8 @@ func ParseChaos(spec string) (*Chaos, error) {
 	if cfg.MaxDelay > 0 && !delayProbSet {
 		cfg.DelayProb = 1
 	}
-	for _, p := range []float64{cfg.PanicProb, cfg.DelayProb, cfg.CorruptProb} {
+	for _, p := range []float64{cfg.PanicProb, cfg.DelayProb, cfg.CorruptProb,
+		cfg.WorkerKillProb, cfg.StallProb, cfg.SlowProb} {
 		if p < 0 || p > 1 {
 			return nil, fmt.Errorf("harness: chaos: probability %v outside [0,1]", p)
 		}
@@ -146,6 +181,54 @@ func (c *Chaos) CorruptPut() bool {
 	}
 	seq := c.corruptSeq.Add(1)
 	return c.draw("corrupt", strconv.FormatInt(seq, 10), 0) < c.cfg.CorruptProb
+}
+
+// WorkerKill reports whether this (case, attempt) dispatch should kill
+// the worker process mid-case. The caller (the worker's serve loop) exits
+// via Exit(ChaosExitCode) after accepting the request and before writing
+// any response, so the supervisor observes an abrupt pipe close.
+func (c *Chaos) WorkerKill(key string, attempt int) bool {
+	if c == nil || c.cfg.WorkerKillProb == 0 {
+		return false
+	}
+	return c.draw("workerkill", key, attempt) < c.cfg.WorkerKillProb
+}
+
+// HeartbeatStall reports whether this (case, attempt) dispatch should
+// wedge the worker: no heartbeats, no response, for StallDuration.
+func (c *Chaos) HeartbeatStall(key string, attempt int) bool {
+	if c == nil || c.cfg.StallProb == 0 {
+		return false
+	}
+	return c.draw("hbstall", key, attempt) < c.cfg.StallProb
+}
+
+// StallDuration bounds an injected heartbeat stall. The default, one
+// hour, is effectively forever next to any heartbeat timeout — the
+// supervisor is expected to kill the worker long before it elapses.
+func (c *Chaos) StallDuration() time.Duration {
+	if c == nil || c.cfg.StallFor <= 0 {
+		return time.Hour
+	}
+	return c.cfg.StallFor
+}
+
+// SlowWorker returns the injected execution delay for this (case,
+// attempt), drawn uniformly in (0, SlowFor]. Heartbeats must keep
+// flowing during the sleep: a slow worker is healthy.
+func (c *Chaos) SlowWorker(key string, attempt int) (time.Duration, bool) {
+	if c == nil || c.cfg.SlowProb == 0 {
+		return 0, false
+	}
+	if c.draw("slow", key, attempt) >= c.cfg.SlowProb {
+		return 0, false
+	}
+	max := c.cfg.SlowFor
+	if max <= 0 {
+		max = 200 * time.Millisecond
+	}
+	frac := c.draw("slowlen", key, attempt)
+	return time.Duration(frac * float64(max)), true
 }
 
 // CaseSimulated records one case simulated to completion in this process

@@ -17,13 +17,72 @@ func TestParseChaos(t *testing.T) {
 	if c.cfg != want {
 		t.Fatalf("parsed %+v, want %+v", c.cfg, want)
 	}
-	for _, bad := range []string{"panic=2", "bogus=1", "panic", "killafter=x"} {
+	for _, bad := range []string{"panic=2", "bogus=1", "panic", "killafter=x",
+		"workerkill=-1", "hbstall=1.5", "slowfor=oops"} {
 		if _, err := ParseChaos(bad); err == nil {
 			t.Fatalf("spec %q parsed without error", bad)
 		}
 	}
 	if c, err := ParseChaos(""); err != nil || c.cfg != (ChaosConfig{}) {
 		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+}
+
+func TestParseChaosWorkerFaults(t *testing.T) {
+	c, err := ParseChaos("seed=3,workerkill=0.2,hbstall=0.1,hbstallfor=2s,slow=0.3,slowfor=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChaosConfig{Seed: 3, WorkerKillProb: 0.2, StallProb: 0.1,
+		StallFor: 2 * time.Second, SlowProb: 0.3, SlowFor: 500 * time.Millisecond}
+	if c.cfg != want {
+		t.Fatalf("parsed %+v, want %+v", c.cfg, want)
+	}
+}
+
+// TestChaosWorkerFaultDraws: the subprocess-worker fault decisions are
+// deterministic per (case, attempt), vary with the attempt (so retries
+// eventually clear an injected fault), and are inert at probability 0 and
+// on a nil receiver.
+func TestChaosWorkerFaultDraws(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 11, WorkerKillProb: 0.5, StallProb: 0.5, SlowProb: 0.5})
+	kills, stalls, slows := 0, 0, 0
+	for attempt := 0; attempt < 32; attempt++ {
+		if c.WorkerKill("case-x", attempt) != c.WorkerKill("case-x", attempt) {
+			t.Fatal("WorkerKill draw not deterministic")
+		}
+		if c.WorkerKill("case-x", attempt) {
+			kills++
+		}
+		if c.HeartbeatStall("case-x", attempt) {
+			stalls++
+		}
+		if d, ok := c.SlowWorker("case-x", attempt); ok {
+			slows++
+			if d <= 0 || d > 200*time.Millisecond {
+				t.Fatalf("slow delay %v outside (0, default 200ms]", d)
+			}
+		}
+	}
+	for name, n := range map[string]int{"kill": kills, "stall": stalls, "slow": slows} {
+		if n == 0 || n == 32 {
+			t.Fatalf("%s draws degenerate at p=0.5: %d/32", name, n)
+		}
+	}
+	if c.StallDuration() != time.Hour {
+		t.Fatalf("default stall duration %v, want 1h", c.StallDuration())
+	}
+
+	var nilC *Chaos
+	if nilC.WorkerKill("k", 0) || nilC.HeartbeatStall("k", 0) {
+		t.Fatal("nil chaos injected a worker fault")
+	}
+	if _, ok := nilC.SlowWorker("k", 0); ok {
+		t.Fatal("nil chaos injected a slow-worker fault")
+	}
+	quiet := NewChaos(ChaosConfig{Seed: 11})
+	if quiet.WorkerKill("k", 0) || quiet.HeartbeatStall("k", 0) {
+		t.Fatal("zero-probability chaos injected a worker fault")
 	}
 }
 

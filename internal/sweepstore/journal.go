@@ -16,8 +16,10 @@ const JournalFormat = 1
 
 // Record types.
 const (
-	RecordMeta = "meta" // one per journal: sweep-level identity
-	RecordCase = "case" // one per completed or failed case
+	RecordMeta    = "meta"    // one per journal: sweep-level identity
+	RecordCase    = "case"    // one per completed or failed case
+	RecordJob     = "job"     // one per submitted sweep-service job
+	RecordJobDone = "jobdone" // terminal status of a sweep-service job
 )
 
 // Case statuses in Record.Status.
@@ -44,9 +46,15 @@ type Record struct {
 	Key      string `json:"key,omitempty"` // cache key (StatusDone)
 	Bench    string `json:"bench,omitempty"`
 	Mode     string `json:"mode,omitempty"`
-	Status   string `json:"status,omitempty"` // StatusDone | StatusFailed
+	Status   string `json:"status,omitempty"` // StatusDone | StatusFailed; job terminal status on RecordJobDone
 	Reason   string `json:"reason,omitempty"` // failure class (StatusFailed)
 	Attempts int    `json:"attempts,omitempty"`
+
+	// Job fields (RecordJob / RecordJobDone): the sweep service journals
+	// each accepted job's id and spec at admission — before any case runs
+	// — so a killed server recovers its whole queue on restart.
+	JobID string          `json:"job_id,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
 }
 
 // Journal is an append-only, fsync'd progress log. Each record is one
@@ -182,6 +190,15 @@ func (j *Journal) meta() (Record, bool) {
 		}
 	}
 	return Record{}, false
+}
+
+// records returns a copy of every record in append order.
+func (j *Journal) records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.recs))
+	copy(out, j.recs)
+	return out
 }
 
 // cases returns the case records in append order.

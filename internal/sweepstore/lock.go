@@ -1,0 +1,80 @@
+package sweepstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// errWouldBlock is the platform-independent "someone else holds the lock"
+// signal from tryFlock.
+var errWouldBlock = errors.New("lock held")
+
+// ErrLocked is the sentinel wrapped into the error Open returns when
+// another process (or another Store in this process) already holds the
+// store's writer lock. Callers match it with errors.Is.
+var ErrLocked = errors.New("sweepstore: store is locked by another writer")
+
+// lockFileName is the advisory writer lock at the store root. The flock —
+// not the file's existence — is the lock: a crashed writer's lock is
+// released by the kernel with its last file descriptor, so stale lock
+// files never wedge a store. The file's content (the holder's pid) exists
+// purely for the error message.
+const lockFileName = "LOCK"
+
+// fileLock is one held writer lock.
+type fileLock struct {
+	f *os.File
+}
+
+// acquireLock takes the store's exclusive writer lock, non-blocking.
+// Journal appends and cache writes interleaved from two processes — a
+// server and a concurrently-run CLI sweep on the same -cache-dir — would
+// corrupt the journal's record framing, so the second writer is rejected
+// with a clear error instead.
+func acquireLock(dir string) (*fileLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepstore: lock: %w", err)
+	}
+	if err := tryFlock(f.Fd()); err != nil {
+		holder := ""
+		if b, rerr := os.ReadFile(path); rerr == nil {
+			holder = strings.TrimSpace(string(b))
+		}
+		f.Close()
+		if err == errWouldBlock {
+			detail := ""
+			if holder != "" {
+				detail = fmt.Sprintf(" (held by pid %s)", holder)
+			}
+			return nil, fmt.Errorf("%w: %s%s: a sweep server or another sweep is already writing here; "+
+				"point this run at a different -cache-dir or stop the other writer", ErrLocked, dir, detail)
+		}
+		return nil, fmt.Errorf("sweepstore: lock %s: %w", path, err)
+	}
+	// Best-effort pid stamp for the competing writer's error message.
+	if err := f.Truncate(0); err == nil {
+		fmt.Fprintf(f, "%d\n", os.Getpid())
+		f.Sync()
+	}
+	return &fileLock{f: f}, nil
+}
+
+// release unlocks and closes the lock file. The file itself is left in
+// place: removal would race a concurrent acquirer that already opened it.
+func (l *fileLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	unlockErr := unflock(l.f.Fd())
+	closeErr := l.f.Close()
+	l.f = nil
+	if unlockErr != nil {
+		return fmt.Errorf("sweepstore: unlock: %w", unlockErr)
+	}
+	return closeErr
+}

@@ -1,0 +1,13 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package sweepstore
+
+// On platforms without flock the single-writer lock degrades to advisory
+// metadata only: Open still records its pid in the lock file, but a
+// concurrent writer is not rejected. Every platform this project targets
+// (and CI runs) has flock; this fallback just keeps the build portable.
+const flockSupported = false
+
+func tryFlock(fd uintptr) error { return nil }
+
+func unflock(fd uintptr) error { return nil }

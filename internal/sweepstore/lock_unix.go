@@ -1,0 +1,26 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package sweepstore
+
+import "syscall"
+
+// flockSupported reports whether this platform enforces the store's
+// single-writer lock. On supported platforms a second Open of the same
+// directory — from another process or the same one — fails immediately.
+const flockSupported = true
+
+// tryFlock takes a non-blocking exclusive flock on fd. It returns
+// errWouldBlock when another open file description holds the lock.
+func tryFlock(fd uintptr) error {
+	err := syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+		return errWouldBlock
+	}
+	return err
+}
+
+// unflock releases the lock taken by tryFlock. Closing the file would
+// release it too; the explicit unlock keeps Close order-independent.
+func unflock(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_UN)
+}

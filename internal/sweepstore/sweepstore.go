@@ -34,6 +34,7 @@ import (
 //	<dir>/objects/xx/<key> content-addressed result entries
 type Store struct {
 	dir     string
+	lock    *fileLock
 	journal *Journal
 	cache   *Cache
 
@@ -43,14 +44,15 @@ type Store struct {
 	// integrity tests — reads detect the damage and treat it as a miss.
 	CorruptPut func() bool
 
-	hits, misses, puts atomic.Int64
+	hits, misses, puts, retries atomic.Int64
 }
 
 // Stats counts cache traffic for one Store since Open.
 type Stats struct {
-	Hits   int64 // verified cache entries served
-	Misses int64 // lookups that fell through to simulation
-	Puts   int64 // entries written
+	Hits    int64 // verified cache entries served
+	Misses  int64 // lookups that fell through to simulation
+	Puts    int64 // entries written
+	Retries int64 // retry attempts consumed by transient failures
 }
 
 // Open opens (creating if needed) the store rooted at dir. With resume
@@ -58,15 +60,27 @@ type Stats struct {
 // truncated away — and its records are available via Meta and Cases;
 // without it, any existing journal is discarded and the sweep starts a
 // fresh one. The cache is content-addressed and survives either way.
+//
+// Open takes an exclusive advisory flock on <dir>/LOCK for the life of
+// the Store: a server and a concurrently-run CLI sweep on the same
+// directory would interleave corrupt journal appends, so the second
+// writer fails immediately with an error matching ErrLocked. The lock
+// dies with the process (the kernel releases it on the last close), so a
+// SIGKILL'd writer never leaves the store wedged.
 func Open(dir string, resume bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweepstore: %w", err)
 	}
-	j, err := OpenJournal(filepath.Join(dir, "journal.log"), resume)
+	lock, err := acquireLock(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, journal: j, cache: &Cache{dir: filepath.Join(dir, "objects")}}, nil
+	j, err := OpenJournal(filepath.Join(dir, "journal.log"), resume)
+	if err != nil {
+		lock.release()
+		return nil, err
+	}
+	return &Store{dir: dir, lock: lock, journal: j, cache: &Cache{dir: filepath.Join(dir, "objects")}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -88,6 +102,20 @@ func (s *Store) SetMeta(rec Record) error {
 
 // Cases returns the recovered per-case journal records, in append order.
 func (s *Store) Cases() []Record { return s.journal.cases() }
+
+// Records returns every journal record — meta, case, and job — in append
+// order. The sweep service walks these at startup to rebuild its queue.
+func (s *Store) Records() []Record { return s.journal.records() }
+
+// AppendRecord journals an arbitrary record durably (fsync'd before
+// return). Callers with their own record types — the sweep service's job
+// queue — use this; Put/Fail/SetMeta remain the case-level entry points.
+func (s *Store) AppendRecord(rec Record) error {
+	if rec.Type == "" {
+		return fmt.Errorf("sweepstore: journal record without a type")
+	}
+	return s.journal.Append(rec)
+}
 
 // Get returns the verified payload cached under key. ok is false on any
 // miss: absent, unreadable, truncated, checksum mismatch, wrong key, or
@@ -124,13 +152,28 @@ func (s *Store) Fail(rec Record) error {
 	return s.journal.Append(rec)
 }
 
-// Stats returns the cache traffic counters.
+// NoteRetry counts one retry attempt consumed by a transient failure, so
+// end-of-run summaries and the server's /healthz can report retry traffic
+// alongside cache traffic.
+func (s *Store) NoteRetry() { s.retries.Add(1) }
+
+// Stats returns the cache and retry traffic counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load(),
+		Retries: s.retries.Load()}
 }
 
-// Close fsyncs and closes the journal. The store must not be used after.
-func (s *Store) Close() error { return s.journal.Close() }
+// Close fsyncs and closes the journal, then releases the writer lock. The
+// store must not be used after.
+func (s *Store) Close() error {
+	jerr := s.journal.Close()
+	lerr := s.lock.release()
+	s.lock = nil
+	if jerr != nil {
+		return jerr
+	}
+	return lerr
+}
 
 // codeVersion identifies the simulator build embedded in cache keys and
 // entries: results produced by different code must never satisfy each

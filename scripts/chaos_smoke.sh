@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # chaos_smoke.sh — the end-to-end crash-safety proof (ISSUE 6, DESIGN.md §10).
 #
 # Runs a real sweep under seeded fault injection: panics that eat retries,
@@ -13,7 +13,7 @@
 # keyed per (case, attempt), so a bad seed would fail forever, not flake).
 #
 # Usage: scripts/chaos_smoke.sh [workdir]   (default: a fresh mktemp dir)
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# sweepd_smoke.sh — the end-to-end fault-isolation proof for the sweep
+# service (ISSUE 7, DESIGN.md §11).
+#
+# Three server lives against real subprocess workers:
+#
+#   1. A clean server runs a small sweep to completion and renders the
+#      reference CSV; SIGTERM must drain it with exit 0.
+#   2. A chaos server (seeded worker kills + slow workers) runs the same
+#      sweep and is SIGKILLed mid-job — the hardest crash there is.
+#   3. A fresh server on the same -cache-dir must recover the journaled
+#      job, serve the finished cases from the cache, complete the rest,
+#      and render a CSV byte-identical to the clean server's.
+#
+# Everything is deterministic: sweep seed and chaos seed are fixed, so a
+# failure here reproduces exactly.
+#
+# Usage: scripts/sweepd_smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="${1:-$(mktemp -d /tmp/cdf-sweepd.XXXXXX)}"
+mkdir -p "$work"
+spec='{"benchmarks":["astar","lbm"],"modes":["baseline","cdf"],"seeds":[7],"max_uops":2000}'
+server_pid=""
+addr=""
+
+echo "sweepd-smoke: workdir $work"
+go build -o "$work/cdfsim" ./cmd/cdfsim
+go build -o "$work/cdfsweepd" ./cmd/cdfsweepd
+
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+start_server() { # <cache-dir> <log> [extra flags...]
+    local cache="$1" log="$2"
+    shift 2
+    "$work/cdfsweepd" -addr 127.0.0.1:0 -cache-dir "$cache" -workers 2 \
+        -worker-cmd "$work/cdfsim" -retries 6 "$@" >"$log" 2>&1 &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^cdfsweepd: listening on //p' "$log" | head -n1)"
+        [ -n "$addr" ] && return 0
+        sleep 0.1
+    done
+    echo "sweepd-smoke: FAIL: server did not start" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+job_state() {
+    curl -sf "http://$addr/jobs/j1" | grep -o '"state": "[a-z]*"' | head -n1 | cut -d'"' -f4
+}
+
+job_completed() {
+    curl -sf "http://$addr/jobs/j1" | grep -o '"completed": [0-9]*' | head -n1 | grep -o '[0-9]*'
+}
+
+wait_done() {
+    local state
+    for _ in $(seq 1 600); do
+        state="$(job_state || true)"
+        if [ "$state" = done ]; then
+            return 0
+        fi
+        if [ "$state" = failed ]; then
+            echo "sweepd-smoke: FAIL: job failed" >&2
+            curl -s "http://$addr/jobs/j1" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "sweepd-smoke: FAIL: job did not finish in time" >&2
+    exit 1
+}
+
+drain() { # SIGTERM must finish in-flight work and exit 0
+    local what="$1"
+    kill -TERM "$server_pid"
+    if ! wait "$server_pid"; then
+        echo "sweepd-smoke: FAIL: $what server exited non-zero on SIGTERM" >&2
+        exit 1
+    fi
+    server_pid=""
+}
+
+# --- life 1: clean reference ---
+start_server "$work/clean-store" "$work/clean-server.log"
+curl -sf -XPOST "http://$addr/jobs" -d "$spec" >/dev/null
+wait_done
+curl -sf "http://$addr/jobs/j1/results?format=csv" >"$work/clean.csv"
+drain clean
+echo "sweepd-smoke: clean sweep done, SIGTERM drained with exit 0"
+
+# --- life 2: chaos server, SIGKILLed mid-job ---
+# Worker kills exercise death detection and retry; slow workers keep the
+# job running long enough that the SIGKILL reliably lands mid-sweep.
+start_server "$work/store" "$work/chaos-server.log" \
+    -worker-chaos 'seed=9,workerkill=0.4,slow=1,slowfor=1s'
+curl -sf -XPOST "http://$addr/jobs" -d "$spec" >/dev/null
+for _ in $(seq 1 600); do
+    completed="$(job_completed || echo 0)"
+    [ "${completed:-0}" -ge 1 ] && break
+    sleep 0.05
+done
+state="$(job_state || true)"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+if [ "$state" = done ]; then
+    echo "sweepd-smoke: FAIL: job finished before the SIGKILL; nothing was proven" >&2
+    exit 1
+fi
+echo "sweepd-smoke: SIGKILLed server mid-job with $completed case(s) done"
+
+# --- life 3: restart on the same cache dir ---
+start_server "$work/store" "$work/restart-server.log"
+if [ "$(job_state)" = "" ]; then
+    echo "sweepd-smoke: FAIL: restarted server did not recover the job" >&2
+    exit 1
+fi
+wait_done
+curl -sf "http://$addr/jobs/j1/results?format=csv" >"$work/chaos.csv"
+hits="$(curl -sf "http://$addr/healthz" | grep -o '"Hits": [0-9]*' | head -n1 | grep -o '[0-9]*')"
+if [ "${hits:-0}" -lt 1 ]; then
+    echo "sweepd-smoke: FAIL: restart re-simulated everything; finished cases should be cache hits" >&2
+    exit 1
+fi
+drain restarted
+echo "sweepd-smoke: restart completed the job with $hits cache hit(s)"
+
+if ! cmp -s "$work/clean.csv" "$work/chaos.csv"; then
+    echo "sweepd-smoke: FAIL: resumed service table differs from clean run" >&2
+    diff "$work/clean.csv" "$work/chaos.csv" >&2 || true
+    exit 1
+fi
+echo "sweepd-smoke: PASS: crash-restarted service table byte-identical to clean run"
