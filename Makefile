@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke shellcheck bench bench-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke shellcheck bench bench-smoke ci clean
 
 all: build
 
@@ -49,6 +49,12 @@ chaos-smoke:
 sweepd-smoke:
 	scripts/sweepd_smoke.sh
 
+# Sampled-simulation accuracy smoke (DESIGN.md §12): one kernel full vs
+# sampled through the real cdfsim binary; the estimate must land within
+# 5% of the full run and report a confidence interval.
+sample-smoke:
+	scripts/sample_smoke.sh
+
 # Lint the smoke scripts. Skips gracefully where shellcheck is not
 # installed (CI's ubuntu runners have it).
 shellcheck:
@@ -75,7 +81,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchtime 1x -benchmem . | tee bench-smoke.txt
 	$(GO) test ./internal/core -run TestSteadyStateAllocs -count 1
 
-ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke shellcheck
+ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke shellcheck
 
 clean:
 	$(GO) clean ./...

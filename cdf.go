@@ -123,6 +123,12 @@ type Options struct {
 	// paths produce bit-identical results; this exists for the -slowpath
 	// CLI flag, equivalence tests, and benchmarking the unoptimised loop.
 	SlowPath bool
+
+	// Sampling enables sampled simulation (see the Sampling type): the
+	// emulator fast-forwards between cycle-accurate measured intervals,
+	// making MaxUops budgets 100x longer tractable at near-constant cost.
+	// Incompatible with WarmupUops (sampling warms per interval).
+	Sampling Sampling
 }
 
 // DefaultMaxUops is the per-run instruction budget when Options.MaxUops is
@@ -163,7 +169,7 @@ func (o Options) Validate() error {
 	if o.Timeout < 0 {
 		return fmt.Errorf("cdf: negative Timeout %v", o.Timeout)
 	}
-	return nil
+	return o.Sampling.validate(o.effectiveMaxUops(), o.WarmupUops)
 }
 
 // coreConfig materializes a core.Config from Options (which must have
@@ -246,6 +252,13 @@ type Result struct {
 
 	// Metrics carries the complete counter table for reports and tests.
 	Metrics []Metric
+
+	// Sample is set only for sampled runs (Options.Sampling): how the run
+	// was measured and the interval statistics behind the IPC estimate.
+	// For sampled runs IPC is the mean of interval IPCs (the estimator
+	// the 95% CI describes), Cycles/Uops are measured-region totals, and
+	// EnergyPJ covers only the measured regions.
+	Sample *SampleSummary `json:",omitempty"`
 }
 
 // BenchmarkInfo describes one suite kernel.
@@ -284,6 +297,9 @@ func RunContext(ctx context.Context, benchmark string, opt Options) (Result, err
 	w, err := workload.ByName(benchmark)
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.Sampling.Enabled() {
+		return runSampled(ctx, benchmark, w, opt)
 	}
 	prg, mem := w.Build()
 	cfg := opt.coreConfig()
@@ -497,10 +513,11 @@ func CaseKey(benchmark string, opt Options) (string, error) {
 		return "", err
 	}
 	desc := struct {
-		Bench  string      `json:"bench"`
-		Oracle bool        `json:"oracle"`
-		Config core.Config `json:"config"`
-	}{benchmark, opt.Oracle, opt.coreConfig()}
+		Bench    string      `json:"bench"`
+		Oracle   bool        `json:"oracle"`
+		Sampling Sampling    `json:"sampling"`
+		Config   core.Config `json:"config"`
+	}{benchmark, opt.Oracle, opt.Sampling.effective(), opt.coreConfig()}
 	return sweepstore.Key(sweepstore.CodeVersion(), desc)
 }
 

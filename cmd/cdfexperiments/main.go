@@ -54,6 +54,7 @@ import (
 	"cdf/internal/profiling"
 	"cdf/internal/report"
 	"cdf/internal/sweepstore"
+	"cdf/internal/units"
 )
 
 // geomean adapts cdf.Geomean for table cells: a degenerate aggregate
@@ -97,8 +98,6 @@ func main() {
 func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment name or 'all' (see -list)")
-		uops     = flag.Uint64("uops", 0, "instructions per run (0 = default)")
-		warmup   = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
 		seed     = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
 		format   = flag.String("format", "text", "output format: text | markdown | csv")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
@@ -117,6 +116,12 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
+	var uops, warmup, sampIvl, sampMeas, sampW units.Uops
+	flag.Var(&uops, "uops", "instructions per run, e.g. 200000, 200k or 5M (0 = default)")
+	flag.Var(&warmup, "warmup", "warm-up instructions excluded from statistics (e.g. 200k)")
+	flag.Var(&sampIvl, "sample-interval", "sampled simulation: sampling period in uops, e.g. 50k (0 = full runs)")
+	flag.Var(&sampMeas, "sample-measure", "sampled simulation: cycle-accurate measured uops per interval (0 = interval/16)")
+	flag.Var(&sampW, "sample-warmup", "sampled simulation: detached cycle-accurate warmup uops per interval (0 = measure/2)")
 	flag.Parse()
 
 	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
@@ -182,9 +187,14 @@ func run() int {
 					*seed, meta.Seed)
 				return 2
 			}
-			if *uops != meta.MaxUops || *warmup != meta.WarmupUops {
+			if uint64(uops) != meta.MaxUops || uint64(warmup) != meta.WarmupUops {
 				fmt.Fprintf(os.Stderr, "cdfexperiments: -uops/-warmup (%d/%d) conflict with the journal's (%d/%d); match them or start fresh without -resume\n",
-					*uops, *warmup, meta.MaxUops, meta.WarmupUops)
+					uops, warmup, meta.MaxUops, meta.WarmupUops)
+				return 2
+			}
+			if uint64(sampIvl) != meta.SampleInterval || uint64(sampMeas) != meta.SampleMeasure || uint64(sampW) != meta.SampleWarmup {
+				fmt.Fprintf(os.Stderr, "cdfexperiments: -sample-interval/-sample-measure/-sample-warmup (%d/%d/%d) conflict with the journal's (%d/%d/%d); match them or start fresh without -resume\n",
+					sampIvl, sampMeas, sampW, meta.SampleInterval, meta.SampleMeasure, meta.SampleWarmup)
 				return 2
 			}
 		}
@@ -197,7 +207,8 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "cdfexperiments: seed %d\n", *seed)
 	if store != nil {
-		if err := store.SetMeta(sweepstore.Record{Seed: *seed, MaxUops: *uops, WarmupUops: *warmup,
+		if err := store.SetMeta(sweepstore.Record{Seed: *seed, MaxUops: uint64(uops), WarmupUops: uint64(warmup),
+			SampleInterval: uint64(sampIvl), SampleMeasure: uint64(sampMeas), SampleWarmup: uint64(sampW),
 			Version: sweepstore.CodeVersion()}); err != nil {
 			fmt.Fprintln(os.Stderr, "cdfexperiments:", err)
 			return 1
@@ -210,18 +221,23 @@ func run() int {
 	defer stop()
 
 	o := cdf.SuiteOptions{
-		MaxUops:    *uops,
-		WarmupUops: *warmup,
+		MaxUops:    uint64(uops),
+		WarmupUops: uint64(warmup),
 		Seed:       *seed,
-		Jobs:       *jobs,
-		Timeout:    *timeout,
-		Paranoid:   *paranoid,
-		Oracle:     *oracle,
-		SlowPath:   *slowPath,
-		Context:    ctx,
-		Store:      store,
-		Retries:    *retries,
-		Chaos:      chaos,
+		Sampling: cdf.Sampling{
+			Interval: uint64(sampIvl),
+			Measure:  uint64(sampMeas),
+			Warmup:   uint64(sampW),
+		},
+		Jobs:     *jobs,
+		Timeout:  *timeout,
+		Paranoid: *paranoid,
+		Oracle:   *oracle,
+		SlowPath: *slowPath,
+		Context:  ctx,
+		Store:    store,
+		Retries:  *retries,
+		Chaos:    chaos,
 	}
 	if store != nil && chaos != nil {
 		store.CorruptPut = chaos.CorruptPut

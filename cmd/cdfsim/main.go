@@ -39,21 +39,23 @@ import (
 	"cdf/internal/profiling"
 	"cdf/internal/sweepd"
 	"cdf/internal/sweepstore"
+	"cdf/internal/units"
 	"cdf/internal/workload"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "astar", "benchmark kernel to run (see -list)")
-		mode   = flag.String("mode", "baseline", "machine: baseline | cdf | pre | hybrid")
-		uops   = flag.Uint64("uops", 0, "instructions to simulate (0 = default)")
-		warmup = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
-		rob    = flag.Int("rob", 0, "ROB size override (0 = Table 1's 352; other structures scale)")
-		seed   = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
-		noBr   = flag.Bool("no-critical-branches", false, "disable hard-to-predict branch marking (ablation)")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
-		prtCfg = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
-		traceN = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
+		bench = flag.String("bench", "astar", "benchmark kernel to run (see -list)")
+		mode  = flag.String("mode", "baseline", "machine: baseline | cdf | pre | hybrid")
+
+		uops, warmup             units.Uops
+		sampIvl, sampMeas, sampW units.Uops
+		rob                      = flag.Int("rob", 0, "ROB size override (0 = Table 1's 352; other structures scale)")
+		seed                     = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
+		noBr                     = flag.Bool("no-critical-branches", false, "disable hard-to-predict branch marking (ablation)")
+		list                     = flag.Bool("list", false, "list benchmarks and exit")
+		prtCfg                   = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
+		traceN                   = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
 
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: serve a verified prior result, else simulate and record")
 
@@ -71,6 +73,11 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
+	flag.Var(&uops, "uops", "instructions to simulate, e.g. 200000, 200k or 5M (0 = default)")
+	flag.Var(&warmup, "warmup", "warm-up instructions excluded from statistics (e.g. 200k)")
+	flag.Var(&sampIvl, "sample-interval", "sampled simulation: sampling period in uops, e.g. 50k (0 = full run)")
+	flag.Var(&sampMeas, "sample-measure", "sampled simulation: cycle-accurate measured uops per interval (0 = interval/16)")
+	flag.Var(&sampW, "sample-warmup", "sampled simulation: detached cycle-accurate warmup uops per interval (0 = measure/2)")
 	flag.Parse()
 
 	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
@@ -121,14 +128,19 @@ func main() {
 	fmt.Printf("seed        %d\n", *seed)
 
 	opt := cdf.Options{
-		MaxUops:    *uops,
-		WarmupUops: *warmup,
+		MaxUops:    uint64(uops),
+		WarmupUops: uint64(warmup),
 		ROBSize:    *rob,
 		Seed:       *seed,
 		Timeout:    *timeout,
 		Paranoid:   *paranoid,
 		Oracle:     *oracleOn,
 		SlowPath:   *slowPath,
+		Sampling: cdf.Sampling{
+			Interval: uint64(sampIvl),
+			Measure:  uint64(sampMeas),
+			Warmup:   uint64(sampW),
+		},
 	}
 	switch *mode {
 	case "baseline":
@@ -192,6 +204,15 @@ func main() {
 	fmt.Printf("cycles      %d\n", res.Cycles)
 	fmt.Printf("uops        %d\n", res.Uops)
 	fmt.Printf("ipc         %.4f\n", res.IPC)
+	if s := res.Sample; s != nil {
+		fmt.Printf("sampled     %d intervals of %s uops (%d measured + %d warmup each), %s fast-forwarded\n",
+			s.Intervals, units.FormatUops(s.IntervalUops),
+			s.MeasuredUops/uint64(s.Intervals), s.WarmupUops/uint64(s.Intervals),
+			units.FormatUops(s.SkippedUops))
+		if s.CIOK {
+			fmt.Printf("ipc 95%% ci  [%.4f, %.4f] (stderr %.4f)\n", s.CILow, s.CIHigh, s.IPCStderr)
+		}
+	}
 	fmt.Printf("mlp         %.2f\n", res.MLP)
 	fmt.Printf("mem traffic %d lines\n", res.MemTraffic)
 	fmt.Printf("energy      %.4e pJ (area %.3fx, cdf share %.1f%%)\n",

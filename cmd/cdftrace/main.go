@@ -19,6 +19,7 @@ import (
 	"cdf/internal/emu"
 	"cdf/internal/harness"
 	"cdf/internal/profiling"
+	"cdf/internal/units"
 	"cdf/internal/workload"
 )
 
@@ -27,13 +28,14 @@ func main() {
 		bench  = flag.String("bench", "astar", "benchmark kernel")
 		disasm = flag.Bool("disasm", false, "print the kernel's static program")
 		dyn    = flag.Int("dyn", 32, "number of dynamic uops to dump")
-		skip   = flag.Uint64("skip", 20000, "dynamic uops to skip before dumping")
-		train  = flag.Uint64("train", 60000, "uops of CDF training before reading criticality marks")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
+	skip, train := units.Uops(20_000), units.Uops(60_000)
+	flag.Var(&skip, "skip", "dynamic uops to skip before dumping, e.g. 20000 or 20k")
+	flag.Var(&train, "train", "uops of CDF training before reading criticality marks, e.g. 60k")
 	flag.Parse()
 
 	profStop, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
@@ -60,8 +62,8 @@ func main() {
 	p, m := w.Build()
 	cfg := core.Default()
 	cfg.Mode = core.ModeCDF
-	cfg.MaxRetired = *train
-	cfg.MaxCycles = *train * 100
+	cfg.MaxRetired = uint64(train)
+	cfg.MaxCycles = uint64(train) * 100
 	c, err := core.New(cfg, p, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdftrace:", err)
@@ -83,13 +85,13 @@ func main() {
 	p2, m2 := w.Build()
 	em := emu.New(p2, m2)
 	var d emu.DynUop
-	for i := uint64(0); i < *skip; i++ {
+	for i := uint64(0); i < uint64(skip); i++ {
 		if !em.Step(&d) {
 			fmt.Fprintln(os.Stderr, "cdftrace: program ended during skip")
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("; dynamic stream of %q from uop %d (crit = in the Critical Uop Cache mask)\n", *bench, *skip)
+	fmt.Printf("; dynamic stream of %q from uop %d (crit = in the Critical Uop Cache mask)\n", *bench, skip)
 	for i := 0; i < *dyn && em.Step(&d); i++ {
 		mark := " "
 		if tr, ok := cuc.Probe(p2.BlockPC(d.BlockID)); ok && d.Index < 64 && tr.Mask&(1<<uint(d.Index)) != 0 {

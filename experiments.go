@@ -31,6 +31,11 @@ type SuiteOptions struct {
 	// Seed for the deterministic wrong-path models.
 	Seed uint64
 
+	// Sampling runs every suite benchmark in sampled-simulation mode (see
+	// the Sampling type): fast-forward with functional warming, periodic
+	// cycle-accurate measured intervals. Zero runs everything fully.
+	Sampling Sampling
+
 	// Jobs bounds the worker pool running suite benchmarks in parallel
 	// (0 = GOMAXPROCS). Results are deterministic regardless of Jobs:
 	// each run is independently deterministic and rows keep suite order.
@@ -104,6 +109,7 @@ func (o SuiteOptions) runOptions() Options {
 		MaxUops:    o.MaxUops,
 		WarmupUops: o.WarmupUops,
 		Seed:       o.Seed,
+		Sampling:   o.Sampling,
 		Timeout:    o.Timeout,
 		Paranoid:   o.Paranoid,
 		Oracle:     o.Oracle,

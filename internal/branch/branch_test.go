@@ -305,3 +305,42 @@ func TestPredictorLongLoopExitAccuracy(t *testing.T) {
 		t.Fatalf("mispredicted %d/39 trained loop exits", exitWrong)
 	}
 }
+
+// TestTageFoldedIncremental drives the predictor with a deterministic
+// pseudo-random branch stream and checks, after every history shift, that
+// the incrementally-maintained folded registers equal the reference
+// foldHistory recomputation over the raw history for every table and fold
+// width. The incremental path is what index/tag read on the hot path; any
+// drift would silently change every prediction.
+func TestTageFoldedIncremental(t *testing.T) {
+	for _, cfg := range []TageConfig{
+		DefaultTage(),
+		// Table widths that do not divide the history lengths evenly, plus
+		// histories shorter than the fold width (MinHist < TagBits-1).
+		{BimodalBits: 6, NumTables: 5, TableBits: 7, TagBits: 11, MinHist: 3, MaxHist: 100, CounterBits: 3},
+		{BimodalBits: 6, NumTables: 2, TableBits: 5, TagBits: 6, MinHist: 1, MaxHist: 64, CounterBits: 3},
+	} {
+		tg := NewTage(cfg)
+		rng := uint64(0x2545F4914F6CDD1D)
+		for step := 0; step < 5000; step++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			pc := (rng % 97) * 4
+			info := tg.Predict(pc)
+			tg.Update(pc, rng&0x10000 != 0, info)
+			for i := 0; i < cfg.NumTables; i++ {
+				hl := tg.histLens[i]
+				if got, want := tg.foldIdx[i], tg.foldHistory(hl, int(cfg.TableBits)); got != want {
+					t.Fatalf("cfg %d step %d table %d: index fold %#x, reference %#x", cfg.NumTables, step, i, got, want)
+				}
+				if got, want := tg.foldTag1[i], tg.foldHistory(hl, int(cfg.TagBits)); got != want {
+					t.Fatalf("cfg %d step %d table %d: tag fold %#x, reference %#x", cfg.NumTables, step, i, got, want)
+				}
+				if got, want := tg.foldTag2[i], tg.foldHistory(hl, int(cfg.TagBits)-1); got != want {
+					t.Fatalf("cfg %d step %d table %d: tag2 fold %#x, reference %#x", cfg.NumTables, step, i, got, want)
+				}
+			}
+		}
+	}
+}

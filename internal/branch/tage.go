@@ -66,10 +66,19 @@ type Tage struct {
 	bimodal  []int8
 	tables   [][]tageEntry
 	histLens []int
-	// ghist is the folded global history per table (index and tag folds).
 	ghist    []uint64 // raw history bits, as a shift register in words
 	histBits int
 	updates  uint64
+
+	// Incrementally folded history registers, one set per tagged table:
+	// the index fold (TableBits wide) and the two tag folds (TagBits and
+	// TagBits-1 wide). Maintained in O(1) per history shift; always equal
+	// to foldHistory over the raw register (TestTageFoldedIncremental).
+	// Recomputing the folds on every Predict dominated simulation
+	// profiles — 3 folds x NumTables x O(histLen/bits) per branch.
+	foldIdx  [maxTageTables]uint64
+	foldTag1 [maxTageTables]uint64
+	foldTag2 [maxTageTables]uint64
 
 	// Counters.
 	Lookups     uint64
@@ -114,7 +123,22 @@ func pow(x, y float64) float64 { return math.Pow(x, y) }
 // HistoryLengths returns the per-table history lengths (for tests).
 func (t *Tage) HistoryLengths() []int { return append([]int(nil), t.histLens...) }
 
+// foldStep advances one folded-history register by a single history shift:
+// b is the incoming outcome bit, evict the outgoing bit (history position
+// histLen-1 before the shift). The recurrence shifts every fold chunk left
+// by one; the XOR of the chunk carry bits reappears at position 0 via the
+// x>>bits term, and the evicted bit — which the shift would move to chunk
+// position histLen%bits, outside the history window — is cancelled.
+func foldStep(f, b, evict uint64, histLen, bits int) uint64 {
+	x := (f << 1) | b
+	x ^= evict << uint(histLen%bits)
+	x ^= x >> uint(bits)
+	return x & maskBits(bits)
+}
+
 // foldHistory folds the low histLen bits of global history into bits bits.
+// It is the reference computation the incremental registers must match;
+// kept for the equivalence test rather than the hot path.
 func (t *Tage) foldHistory(histLen, bits int) uint64 {
 	var folded uint64
 	for b := 0; b < histLen; b += bits {
@@ -145,14 +169,14 @@ func maskBits(n int) uint64 {
 }
 
 func (t *Tage) index(pc uint64, table int) uint32 {
-	h := t.foldHistory(t.histLens[table], int(t.cfg.TableBits))
+	h := t.foldIdx[table]
 	v := (pc >> 2) ^ (pc >> (uint(t.cfg.TableBits) + 2)) ^ h ^ uint64(table)*0x9E3779B9
 	return uint32(v & maskBits(int(t.cfg.TableBits)))
 }
 
 func (t *Tage) tag(pc uint64, table int) uint32 {
-	h := t.foldHistory(t.histLens[table], int(t.cfg.TagBits))
-	h2 := t.foldHistory(t.histLens[table], int(t.cfg.TagBits)-1)
+	h := t.foldTag1[table]
+	h2 := t.foldTag2[table]
 	v := (pc >> 2) ^ h ^ (h2 << 1)
 	return uint32(v & maskBits(int(t.cfg.TagBits)))
 }
@@ -272,12 +296,22 @@ func (t *Tage) Update(pc uint64, taken bool, info PredInfo) {
 	t.shiftHistory(taken)
 }
 
-// shiftHistory pushes one outcome bit into the global history register.
+// shiftHistory pushes one outcome bit into the global history register and
+// advances every folded register (the evicted bit is read before the raw
+// shift).
 func (t *Tage) shiftHistory(taken bool) {
-	carry := uint64(0)
+	b := uint64(0)
 	if taken {
-		carry = 1
+		b = 1
 	}
+	for i := 0; i < t.cfg.NumTables; i++ {
+		hl := t.histLens[i]
+		evict := t.histBitsAt(hl-1, 1)
+		t.foldIdx[i] = foldStep(t.foldIdx[i], b, evict, hl, int(t.cfg.TableBits))
+		t.foldTag1[i] = foldStep(t.foldTag1[i], b, evict, hl, int(t.cfg.TagBits))
+		t.foldTag2[i] = foldStep(t.foldTag2[i], b, evict, hl, int(t.cfg.TagBits)-1)
+	}
+	carry := b
 	for i := range t.ghist {
 		next := t.ghist[i] >> 63
 		t.ghist[i] = (t.ghist[i] << 1) | carry

@@ -67,6 +67,11 @@ func NewFillBuffer(cfg Config, masks *MaskCache, cuc *UopCache) *FillBuffer {
 // Len returns the number of buffered records.
 func (f *FillBuffer) Len() int { return len(f.buf) }
 
+// Reset discards any buffered records without walking them. Sampled
+// simulation drops a partial collection when structure ownership moves
+// between an interval core and the functional warmer.
+func (f *FillBuffer) Reset() { f.buf = f.buf[:0] }
+
 // Full reports whether the buffer holds FillBufferSize records.
 func (f *FillBuffer) Full() bool { return len(f.buf) >= f.cfg.FillBufferSize }
 

@@ -112,6 +112,15 @@ type Core struct {
 	lastEpochAt uint64 // retired count at last collection epoch start
 	lastMaskRst uint64
 
+	// posBase is the absolute program position (in executed uops) of this
+	// core's first instruction — zero for a full run, the checkpoint
+	// position for a sampled interval core. The epoch anchors above are
+	// stored relative to it (lastX_abs = posBase + lastX, with uint64
+	// wraparound carrying anchors that predate the checkpoint), so the
+	// periodic criticality cycles — mask decay, walk epochs — fire at the
+	// same absolute positions they would in a continuous run.
+	posBase uint64
+
 	// Precise Runahead.
 	runahead    *pre.Engine
 	preStallSeq uint64 // head seq of the last PRE-marked stall
@@ -156,28 +165,11 @@ type Core struct {
 	nextRelease uint64
 }
 
-// New builds a core executing p with memory state m.
-func New(cfg Config, p *prog.Program, m *emu.Memory) (*Core, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	st := &stats.Stats{}
-	c := &Core{
-		cfg:  cfg,
-		st:   st,
-		hier: mem.NewHierarchy(cfg.Mem, st),
-		pred: branch.NewPredictor(),
-		prg:  p,
-		strm: newStream(emu.New(p, m)),
-		rf:   newRegFile(cfg.PRFSize),
-		rng:  cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
-	}
-	c.waitHead = make([]*entry, cfg.PRFSize)
-	c.blockByPC = make(map[uint64]int, len(p.Blocks))
-	for _, b := range p.Blocks {
-		c.blockByPC[p.BlockPC(b.ID)] = b.ID
-	}
-
+// effectiveCDF returns cfg.CDF with the mode-specific policy adjustments
+// applied. It is the configuration the criticality structures are actually
+// built with, in both New and NewWarmer (the two must agree for warm
+// structures to be adoptable).
+func (cfg Config) effectiveCDF() cdf.Config {
 	cc := cfg.CDF
 	if cfg.Mode == ModePRE {
 		// PRE uses the marking machinery purely for prefetch chains; the
@@ -194,15 +186,73 @@ func New(cfg Config, p *prog.Program, m *emu.Memory) (*Core, error) {
 		// gates exist to control CDF-mode entry, which never happens here.
 		cc.DisableDensityGates = true
 	}
-	c.loadCCT = cdf.NewCountTable(cc.CCTEntries, cc.CCTWays,
-		cc.LoadStrictMax, cc.LoadStrictThresh, cc.LoadPermMax, cc.LoadPermThresh, 1)
-	c.branchCCT = cdf.NewCountTable(cc.CCTEntries, cc.CCTWays,
-		cc.BranchStrictMax, cc.BranchStrictThresh, cc.BranchPermMax, cc.BranchPermThresh,
-		cc.BranchMispredictWeight)
-	c.maskc = cdf.NewMaskCache(cc.MaskEntries, cc.MaskWays)
-	c.cuc = cdf.NewUopCache(cc.CUCLines, cc.CUCWays, cc.CUCLineUops)
-	c.fb = cdf.NewFillBuffer(cc, c.maskc, c.cuc)
+	return cc
+}
 
+// New builds a core executing p with memory state m.
+func New(cfg Config, p *prog.Program, m *emu.Memory) (*Core, error) {
+	return NewAt(cfg, p, emu.New(p, m), nil)
+}
+
+// NewAt builds a core that begins execution at em's current position — an
+// emulator cloned from a fast-forwarding master at a sampling checkpoint,
+// or a fresh one at program entry (New). When w is non-nil the core adopts
+// w's warm microarchitectural structures (caches, branch predictor,
+// criticality tables) instead of cold ones; the warmer must have been built
+// for the same program and a structurally identical Config, and its
+// structures belong to the returned core until it finishes (the handoff is
+// strictly serial). With w nil the core gets cold structures, making New a
+// special case of NewAt.
+func NewAt(cfg Config, p *prog.Program, em *emu.Emulator, w *Warmer) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		var err error
+		w, err = NewWarmer(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := w.compatible(cfg, p); err != nil {
+		return nil, err
+	}
+	st := &stats.Stats{}
+	c := &Core{
+		cfg:  cfg,
+		st:   st,
+		hier: w.hier,
+		pred: w.pred,
+		prg:  p,
+		strm: newStream(em),
+		rf:   newRegFile(cfg.PRFSize),
+		rng:  cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	// The hierarchy counts into this core's stats from now on, and every
+	// cycle-valued piece of its state (MSHRs, DRAM schedules) is dropped:
+	// this core's clock starts at zero, and completion times from warming
+	// or a previous interval would poison it. For a cold warmer both calls
+	// are no-ops.
+	c.hier.SetStats(st)
+	c.hier.ResetTiming()
+	c.waitHead = make([]*entry, cfg.PRFSize)
+	c.blockByPC = make(map[uint64]int, len(p.Blocks))
+	for _, b := range p.Blocks {
+		c.blockByPC[p.BlockPC(b.ID)] = b.ID
+	}
+
+	c.loadCCT = w.loadCCT
+	c.branchCCT = w.branchCCT
+	c.maskc = w.maskc
+	c.cuc = w.cuc
+	c.fb = w.fb
+	// Inherit the warmer's epoch clock: the criticality cycles continue
+	// from where warming left them rather than restarting. For a cold
+	// warmer all three are zero and this is a no-op.
+	c.posBase = w.pos
+	c.lastMaskRst = w.lastMaskRst - w.pos
+	c.lastEpochAt = w.lastEpochAt - w.pos
+
+	cc := cfg.effectiveCDF()
 	if cfg.Mode == ModeCDF || cfg.Mode == ModeHybrid {
 		c.robPart = cdf.NewPartition(cfg.ROBSize, cc.ROBStep, cc.PartitionStallThresh)
 		c.lqPart = cdf.NewPartition(cfg.LQSize, cc.LSQStep, cc.PartitionStallThresh)
@@ -242,6 +292,22 @@ func (c *Core) Cycles() uint64 { return c.now }
 
 // Retired returns the number of retired uops.
 func (c *Core) Retired() uint64 { return c.retired }
+
+// FetchFrontier returns the furthest dynamic stream position either fetch
+// engine has consumed. The frontend runs ahead of retirement, so when the
+// core stops at a retire limit it has already fetched — and trained the
+// branch predictor and touched the caches for — uops beyond it. Sampled
+// simulation must resume functional warming at this frontier, not at the
+// retire limit: re-observing the overfetched span would train the shared
+// structures twice (and the duplicated history bits compound — the branch
+// predictor ends up memorizing patterns a continuous run never learns).
+func (c *Core) FetchFrontier() uint64 {
+	f := c.regSeq
+	if c.critScanSeq > f {
+		f = c.critScanSeq
+	}
+	return f
+}
 
 // Finished reports whether the program retired its final uop or a run limit
 // was reached.

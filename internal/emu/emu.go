@@ -61,8 +61,25 @@ func New(p *prog.Program, mem *Memory) *Emulator {
 // Halted reports whether the program has executed its halt uop.
 func (e *Emulator) Halted() bool { return e.halted }
 
+// Clone returns an independent deep copy of the emulator at its current
+// architectural state and position. Sampled simulation clones the
+// fast-forwarding master at each checkpoint; the clone seeds the interval
+// core's oracle stream while the master keeps advancing.
+func (e *Emulator) Clone() *Emulator {
+	c := *e
+	c.Mem = e.Mem.Clone()
+	c.retStack = append([]int(nil), e.retStack...)
+	return &c
+}
+
 // Executed returns the number of dynamic uops executed so far.
 func (e *Emulator) Executed() uint64 { return e.seq }
+
+// ResetSeq restarts dynamic sequence numbering at zero without moving the
+// machine. A sampled interval renumbers its checkpoint clones so stream
+// positions, commit effects and the differential oracle all agree that the
+// interval's first uop is seq 0.
+func (e *Emulator) ResetSeq() { e.seq = 0 }
 
 // Step executes the next uop and fills *d with its dynamic record. It
 // returns false if the program has already halted.
@@ -73,13 +90,21 @@ func (e *Emulator) Step(d *DynUop) bool {
 	blk := e.Prog.Blocks[e.blockID]
 	u := blk.Uops[e.uopIdx]
 
-	*d = DynUop{
-		Seq:     e.seq,
-		PC:      e.Prog.PC(e.blockID, e.uopIdx),
-		BlockID: e.blockID,
-		Index:   e.uopIdx,
-		U:       u,
-	}
+	// Field writes rather than a composite literal: the literal builds a
+	// ~100-byte temporary and duffcopies it into *d on every step, which
+	// shows up in fast-forward profiles.
+	d.Seq = e.seq
+	d.PC = e.Prog.PC(e.blockID, e.uopIdx)
+	d.BlockID = e.blockID
+	d.Index = e.uopIdx
+	d.U = u
+	d.Addr = 0
+	d.Value = 0
+	d.DstValue = 0
+	d.Taken = false
+	d.NextPC = 0
+	d.NextBlock = 0
+	d.Last = false
 	e.seq++
 
 	src1, src2 := int64(0), int64(0)

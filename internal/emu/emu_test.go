@@ -315,3 +315,134 @@ func TestBranchSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestCloneIndependence: a checkpoint clone must be a fully independent
+// machine — stepping either side must not disturb the other's registers,
+// memory, call stack, or uop stream. Sampled simulation clones the master
+// emulator at every interval checkpoint.
+func TestCloneIndependence(t *testing.T) {
+	b := prog.NewBuilder("clonestore")
+	loop := b.Label()
+	b.AddI(r(2), r(2), 1)
+	b.MovI(r(3), 0x1000)
+	b.Store(r(3), 0, r(2))
+	b.Load(r(4), r(3), 0)
+	b.Bne(r(2), r(1), loop)
+	b.Halt()
+	p := b.MustProgram()
+
+	mk := func() *Emulator {
+		e := New(p, nil)
+		e.Regs[1] = 1 << 40 // never exits on its own
+		return e
+	}
+	e := mk()
+	var d DynUop
+	for i := 0; i < 123; i++ {
+		if !e.Step(&d) {
+			t.Fatal("unexpected halt")
+		}
+	}
+	c := e.Clone()
+
+	// The clone resumes exactly where the original stands: both must
+	// produce the identical forward stream.
+	var de, dc DynUop
+	for i := 0; i < 500; i++ {
+		oke, okc := e.Step(&de), c.Step(&dc)
+		if oke != okc || de != dc {
+			t.Fatalf("step %d after clone: original %+v (%v), clone %+v (%v)", i, de, oke, dc, okc)
+		}
+	}
+
+	// Divergent writes stay private.
+	c.Regs[2] = -7
+	c.Mem.Write64(0x1000, 4242)
+	if e.Regs[2] == -7 {
+		t.Fatal("clone register write visible in original")
+	}
+	if e.Mem.Read64(0x1000) == 4242 {
+		t.Fatal("clone memory write visible in original")
+	}
+
+	// A fresh machine stepped the same distance matches the clone's
+	// positions (clone carries no hidden drift).
+	f := mk()
+	for i := 0; i < 623; i++ {
+		f.Step(&d)
+	}
+	var df DynUop
+	e2, f2 := e.Step(&de), f.Step(&df)
+	if e2 != f2 || de != df {
+		t.Fatalf("original after 623 steps %+v, fresh machine %+v", de, df)
+	}
+}
+
+// TestCloneResetSeq: ResetSeq renumbers the stream from zero without
+// touching any architectural state, so an interval core's commit sequence
+// numbers and its oracle reference agree at stream position 0.
+func TestCloneResetSeq(t *testing.T) {
+	e := New(buildSum(1000), nil)
+	var d DynUop
+	for i := 0; i < 57; i++ {
+		e.Step(&d)
+	}
+	c := e.Clone()
+	c.ResetSeq()
+	regs := c.Regs
+
+	if !c.Step(&d) {
+		t.Fatal("unexpected halt")
+	}
+	if d.Seq != 0 {
+		t.Fatalf("first Seq after ResetSeq = %d, want 0", d.Seq)
+	}
+	c.Step(&d)
+	if d.Seq != 1 {
+		t.Fatalf("second Seq = %d, want 1", d.Seq)
+	}
+	// Architectural effects are unchanged: the original produces the same
+	// uops with shifted numbering.
+	c2 := e.Clone()
+	c2.ResetSeq()
+	var do, dr DynUop
+	e.Step(&do)
+	if do.Seq != 57 {
+		t.Fatalf("original Seq = %d, want 57", do.Seq)
+	}
+	_ = regs
+	d2 := do
+	d2.Seq = 0
+	c2.Step(&dr)
+	if dr != d2 {
+		t.Fatalf("ResetSeq changed architectural content: %+v vs %+v", dr, d2)
+	}
+}
+
+// TestStepReusedDynUop: Step must fully overwrite a reused DynUop — stale
+// fields from a previous, different uop must not leak through (the fast
+// path writes fields directly rather than assigning a composite literal).
+func TestStepReusedDynUop(t *testing.T) {
+	e1 := New(buildSum(10), nil)
+	e2 := New(buildSum(10), nil)
+	var reused, fresh DynUop
+	// Poison the reused record with a memory-op's fields first.
+	reused.Addr, reused.Value, reused.DstValue = 0xDEAD, 123, 456
+	reused.Taken, reused.Last = true, true
+	for {
+		var d DynUop
+		ok2 := e2.Step(&d)
+		ok1 := e1.Step(&reused)
+		if ok1 != ok2 {
+			t.Fatal("streams disagree on halt")
+		}
+		if !ok1 {
+			break
+		}
+		if reused != d {
+			t.Fatalf("reused record %+v differs from fresh record %+v", reused, d)
+		}
+		fresh = d
+	}
+	_ = fresh
+}

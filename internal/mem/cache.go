@@ -227,6 +227,12 @@ func (c *Cache) PendingCount(now uint64) int {
 	return len(c.pending)
 }
 
+// ResetPending drops all in-flight fills without touching contents or
+// replacement state. Sampled simulation calls it when warm structures are
+// handed to a fresh interval core: MSHR ready cycles are in the previous
+// core's timebase and would otherwise poison the new core's clock.
+func (c *Cache) ResetPending() { c.pending = c.pending[:0] }
+
 // Flush invalidates the entire cache (used between simulation phases in
 // tests; the evaluation never flushes mid-run).
 func (c *Cache) Flush() {

@@ -159,6 +159,22 @@ func (d *DRAM) Access(addr uint64, now uint64, write bool) uint64 {
 	return done
 }
 
+// ResetTiming clears all cycle-valued scheduling state (bank ready times,
+// bus occupancy) while keeping open-row contents and lifetime counters.
+// Sampled simulation calls it when the warm memory system is adopted by a
+// fresh interval core whose clock restarts at zero; without the reset,
+// ready times from the previous interval would stall the new core for
+// millions of cycles.
+func (d *DRAM) ResetTiming() {
+	for ci := range d.chans {
+		c := &d.chans[ci]
+		c.busFree = 0
+		for bi := range c.banks {
+			c.banks[bi].readyAt = 0
+		}
+	}
+}
+
 // AvgReadLatency returns the mean read latency in cycles.
 func (d *DRAM) AvgReadLatency() float64 {
 	if d.Reads == 0 {

@@ -142,3 +142,38 @@ func TestQuickCompletionAfterIssue(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResetTimingKeepsRowsDropsSchedule: after ResetTiming a bank's ready
+// time and bus occupancy are gone (an access at cycle 0 completes as if the
+// machine were idle), but open-row state and counters survive — the second
+// access to a previously opened row is still a row-buffer hit.
+func TestResetTimingKeepsRowsDropsSchedule(t *testing.T) {
+	d := New(Default())
+	// Open a row and pile up scheduling state on its bank and bus.
+	first := d.Access(0x10000, 0, false)
+	for i := uint64(0); i < 16; i++ {
+		d.Access(0x10000+i*d.Config().LineBytes, 0, false)
+	}
+	busy := d.Access(0x10000, 0, false)
+	if busy <= first {
+		t.Fatal("test premise: queued accesses should complete later than an idle one")
+	}
+	reads := d.Reads
+
+	d.ResetTiming()
+	if d.Reads != reads {
+		t.Fatal("ResetTiming must not clear counters")
+	}
+	hit := d.Access(0x10000, 0, false)
+	if hit != first {
+		// first was a row miss on an idle machine; after the reset the row
+		// is open, so the access may be faster, never slower.
+		if hit > first {
+			t.Fatalf("post-reset access at cycle 0 completes at %d; idle-machine cold access took %d", hit, first)
+		}
+	}
+	// And it really is a row-buffer hit: faster than the cold access.
+	if hit >= first {
+		t.Fatalf("open row lost across ResetTiming: hit %d vs cold %d", hit, first)
+	}
+}

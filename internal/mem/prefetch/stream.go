@@ -50,6 +50,9 @@ type Stream struct {
 	late      uint64
 	intervalN uint64
 
+	// frozen suspends FDP feedback (see Freeze).
+	frozen bool
+
 	// Lifetime counters.
 	TotalIssued uint64
 	TotalUseful uint64
@@ -139,14 +142,28 @@ func (s *Stream) OnMiss(lineAddr uint64) []uint64 {
 		}
 		out = append(out, uint64(next))
 	}
-	s.issued += uint64(len(out))
-	s.TotalIssued += uint64(len(out))
-	s.maybeAdjust()
+	if !s.frozen {
+		s.issued += uint64(len(out))
+		s.TotalIssued += uint64(len(out))
+		s.maybeAdjust()
+	}
 	return out
 }
 
+// Freeze suspends (or resumes) FDP feedback. Functional warming trains
+// stream entries and issues fills, but its prefetches complete instantly,
+// so FDP's timeliness signal — the late merges that push the degree up in
+// any real run — cannot exist there, and its accuracy ratio is biased by
+// fills the warm hierarchy filters out. Adapting on that evidence drives
+// the degree to the minimum during every fast-forward gap; a frozen
+// throttle carries the last cycle-accurately chosen degree across instead.
+func (s *Stream) Freeze(on bool) { s.frozen = on }
+
 // OnPrefetchUseful records a demand hit on a prefetched line.
 func (s *Stream) OnPrefetchUseful() {
+	if s.frozen {
+		return
+	}
 	s.useful++
 	s.TotalUseful++
 }

@@ -75,6 +75,18 @@ func Attach(c *core.Core, p *prog.Program, m *emu.Memory) *Checker {
 	return ch
 }
 
+// AttachAt installs a Checker whose reference machine is ref: an emulator
+// clone positioned at c's starting point. Sampled simulation attaches one
+// per measured interval, cloned from the master at the checkpoint, so
+// lockstep checking works mid-program without replaying from entry.
+func AttachAt(c *core.Core, ref *emu.Emulator) *Checker {
+	ch := &Checker{ref: ref}
+	c.SetCommitCheck(func(eff core.CommitEffect) error {
+		return ch.Check(eff, c)
+	})
+	return ch
+}
+
 // Checked returns the number of commits verified so far.
 func (ch *Checker) Checked() uint64 { return ch.n }
 

@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// Intervals aggregates one scalar metric — in practice the IPC of each
+// measured interval of a sampled run — and reports the mean, standard error
+// and 95% confidence interval across intervals (SMARTS-style systematic
+// sampling). It uses Welford's online algorithm, so adding an interval is
+// O(1) and numerically stable regardless of run length.
+type Intervals struct {
+	n    uint64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add records one interval's metric value.
+func (iv *Intervals) Add(x float64) {
+	iv.n++
+	d := x - iv.mean
+	iv.mean += d / float64(iv.n)
+	iv.m2 += d * (x - iv.mean)
+}
+
+// N returns the number of intervals recorded.
+func (iv *Intervals) N() uint64 { return iv.n }
+
+// Mean returns the arithmetic mean across intervals (0 with no intervals).
+func (iv *Intervals) Mean() float64 {
+	if iv.n == 0 {
+		return 0
+	}
+	return iv.mean
+}
+
+// Stderr returns the standard error of the mean. With fewer than two
+// intervals the sample variance is undefined and ok is false: a
+// single-interval run has a point estimate but no error bound.
+func (iv *Intervals) Stderr() (se float64, ok bool) {
+	if iv.n < 2 {
+		return 0, false
+	}
+	variance := iv.m2 / float64(iv.n-1)
+	return math.Sqrt(variance / float64(iv.n)), true
+}
+
+// CI95 returns the two-sided 95% confidence interval for the mean, using
+// Student's t quantile for the small interval counts sampling produces.
+// ok is false with fewer than two intervals (CI degenerates to n/a).
+func (iv *Intervals) CI95() (lo, hi float64, ok bool) {
+	se, ok := iv.Stderr()
+	if !ok {
+		return 0, 0, false
+	}
+	h := tQuantile975(iv.n-1) * se
+	return iv.mean - h, iv.mean + h, true
+}
+
+// tQuantile975 returns the 97.5th percentile of Student's t distribution
+// with df degrees of freedom (the two-sided 95% critical value), tabulated
+// for small df and converging to the normal quantile beyond it.
+func tQuantile975(df uint64) float64 {
+	table := [...]float64{
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+		11: 2.201,
+		12: 2.179,
+		13: 2.160,
+		14: 2.145,
+		15: 2.131,
+		16: 2.120,
+		17: 2.110,
+		18: 2.101,
+		19: 2.093,
+		20: 2.086,
+		21: 2.080,
+		22: 2.074,
+		23: 2.069,
+		24: 2.064,
+		25: 2.060,
+		26: 2.056,
+		27: 2.052,
+		28: 2.048,
+		29: 2.045,
+		30: 2.042,
+	}
+	if df == 0 {
+		return math.NaN()
+	}
+	if df < uint64(len(table)) {
+		return table[df]
+	}
+	return 1.960
+}

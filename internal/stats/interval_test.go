@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalsEmpty(t *testing.T) {
+	var iv Intervals
+	if iv.N() != 0 {
+		t.Fatalf("N() = %d, want 0", iv.N())
+	}
+	if iv.Mean() != 0 {
+		t.Fatalf("Mean() = %v, want 0", iv.Mean())
+	}
+	if _, ok := iv.Stderr(); ok {
+		t.Fatal("Stderr() ok with no intervals")
+	}
+	if _, _, ok := iv.CI95(); ok {
+		t.Fatal("CI95() ok with no intervals")
+	}
+}
+
+// TestIntervalsSingle pins the single-interval degeneration: a point
+// estimate exists, but the error bound is n/a (not zero-width, not NaN).
+func TestIntervalsSingle(t *testing.T) {
+	var iv Intervals
+	iv.Add(1.25)
+	if iv.N() != 1 {
+		t.Fatalf("N() = %d, want 1", iv.N())
+	}
+	if iv.Mean() != 1.25 {
+		t.Fatalf("Mean() = %v, want 1.25", iv.Mean())
+	}
+	if se, ok := iv.Stderr(); ok {
+		t.Fatalf("Stderr() = %v ok with one interval; want n/a", se)
+	}
+	if _, _, ok := iv.CI95(); ok {
+		t.Fatal("CI95() ok with one interval; want n/a")
+	}
+}
+
+// TestIntervalsAgainstDirect checks Welford against the textbook two-pass
+// computation on a small sample, and the CI against a hand calculation with
+// the df=4 t value.
+func TestIntervalsAgainstDirect(t *testing.T) {
+	xs := []float64{0.9, 1.1, 1.0, 1.3, 0.7}
+	var iv Intervals
+	for _, x := range xs {
+		iv.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	wantSE := math.Sqrt(varSum / float64(len(xs)-1) / float64(len(xs)))
+
+	if got := iv.Mean(); math.Abs(got-mean) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, mean)
+	}
+	se, ok := iv.Stderr()
+	if !ok || math.Abs(se-wantSE) > 1e-12 {
+		t.Errorf("Stderr() = %v ok=%v, want %v", se, ok, wantSE)
+	}
+	lo, hi, ok := iv.CI95()
+	if !ok {
+		t.Fatal("CI95() not ok with 5 intervals")
+	}
+	h := 2.776 * wantSE // t_{0.975, df=4}
+	if math.Abs(lo-(mean-h)) > 1e-12 || math.Abs(hi-(mean+h)) > 1e-12 {
+		t.Errorf("CI95() = [%v, %v], want [%v, %v]", lo, hi, mean-h, mean+h)
+	}
+	if lo >= hi {
+		t.Errorf("CI95 degenerate: [%v, %v]", lo, hi)
+	}
+}
+
+// TestIntervalsConstant: identical intervals give a zero-width CI centred
+// on the value.
+func TestIntervalsConstant(t *testing.T) {
+	var iv Intervals
+	for i := 0; i < 10; i++ {
+		iv.Add(2.0)
+	}
+	se, ok := iv.Stderr()
+	if !ok || se != 0 {
+		t.Fatalf("Stderr() = %v ok=%v, want 0 ok", se, ok)
+	}
+	lo, hi, ok := iv.CI95()
+	if !ok || lo != 2.0 || hi != 2.0 {
+		t.Fatalf("CI95() = [%v, %v] ok=%v, want [2, 2]", lo, hi, ok)
+	}
+}
+
+// TestTQuantileShape pins the t table's critical properties: monotone
+// decreasing in df, continuous into the asymptotic normal value, and NaN
+// for the impossible df=0.
+func TestTQuantileShape(t *testing.T) {
+	if !math.IsNaN(tQuantile975(0)) {
+		t.Error("tQuantile975(0) should be NaN")
+	}
+	for df := uint64(1); df < 32; df++ {
+		if tQuantile975(df) < tQuantile975(df+1) {
+			t.Errorf("t quantile not monotone at df=%d: %v < %v", df, tQuantile975(df), tQuantile975(df+1))
+		}
+	}
+	if got := tQuantile975(1000); got != 1.960 {
+		t.Errorf("tQuantile975(1000) = %v, want 1.960", got)
+	}
+	if got := tQuantile975(1); got != 12.706 {
+		t.Errorf("tQuantile975(1) = %v, want 12.706", got)
+	}
+}

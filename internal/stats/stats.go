@@ -81,6 +81,66 @@ type Stats struct {
 	RunaheadPrefetches uint64
 }
 
+// Merge adds every counter of o into s. Sampled simulation merges each
+// measured interval's Stats into the run total; TestMergeCoversAllFields
+// keeps this list in sync with the struct.
+func (s *Stats) Merge(o *Stats) {
+	s.Cycles += o.Cycles
+	s.RetiredUops += o.RetiredUops
+	s.RetiredLoads += o.RetiredLoads
+	s.RetiredStores += o.RetiredStores
+	s.RetiredBranches += o.RetiredBranches
+	s.FetchedUops += o.FetchedUops
+	s.FlushedUops += o.FlushedUops
+	s.CondBranches += o.CondBranches
+	s.BranchMispredicts += o.BranchMispredicts
+	s.BTBMisses += o.BTBMisses
+	s.FetchStallCycles += o.FetchStallCycles
+	s.ROBFullCycles += o.ROBFullCycles
+	s.RSFullCycles += o.RSFullCycles
+	s.LQFullCycles += o.LQFullCycles
+	s.SQFullCycles += o.SQFullCycles
+	s.FullWindowStallCycles += o.FullWindowStallCycles
+	s.L1IHits += o.L1IHits
+	s.L1IMisses += o.L1IMisses
+	s.L1DHits += o.L1DHits
+	s.L1DMisses += o.L1DMisses
+	s.LLCHits += o.LLCHits
+	s.LLCMisses += o.LLCMisses
+	s.DRAMReads += o.DRAMReads
+	s.DRAMWrites += o.DRAMWrites
+	s.WritebacksL1 += o.WritebacksL1
+	s.WritebacksLLC += o.WritebacksLLC
+	s.PrefetchesIssued += o.PrefetchesIssued
+	s.PrefetchesUseful += o.PrefetchesUseful
+	s.PrefetchesLate += o.PrefetchesLate
+	s.WrongPathLoads += o.WrongPathLoads
+	s.mlpSum += o.mlpSum
+	s.mlpCycles += o.mlpCycles
+	s.StallROBCritical += o.StallROBCritical
+	s.StallROBNonCritical += o.StallROBNonCritical
+	s.StallROBSamples += o.StallROBSamples
+	s.CDFModeCycles += o.CDFModeCycles
+	s.CDFEntries += o.CDFEntries
+	s.CDFExits += o.CDFExits
+	s.CriticalUopsFetched += o.CriticalUopsFetched
+	s.CriticalUopsRetired += o.CriticalUopsRetired
+	s.TracesInstalled += o.TracesInstalled
+	s.FillBufferWalks += o.FillBufferWalks
+	s.WalksRejectedSparse += o.WalksRejectedSparse
+	s.WalksRejectedDense += o.WalksRejectedDense
+	s.DependenceViolations += o.DependenceViolations
+	s.MemOrderViolations += o.MemOrderViolations
+	s.CUCHits += o.CUCHits
+	s.CUCMisses += o.CUCMisses
+	s.PartitionGrows += o.PartitionGrows
+	s.PartitionShrinks += o.PartitionShrinks
+	s.RunaheadIntervals += o.RunaheadIntervals
+	s.RunaheadCycles += o.RunaheadCycles
+	s.RunaheadUops += o.RunaheadUops
+	s.RunaheadPrefetches += o.RunaheadPrefetches
+}
+
 // TickMLP records one cycle with n outstanding LLC-missing demand loads.
 func (s *Stats) TickMLP(n int) {
 	if n > 0 {

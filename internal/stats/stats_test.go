@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -118,5 +119,91 @@ func TestQuickMLPBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMergeCoversAllFields fails when a counter is added to Stats without
+// extending Merge: every field is uint64 (checked), every exported field is
+// set to a distinct value by reflection, the MLP accumulators through their
+// API, and a Merge into a zero Stats must reproduce the struct exactly.
+func TestMergeCoversAllFields(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	var a Stats
+	av := reflect.ValueOf(&a).Elem()
+	unexported := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s; Stats fields must be uint64 for Merge/equality to be exact", f.Name, f.Type)
+		}
+		if f.IsExported() {
+			av.Field(i).SetUint(uint64(i + 1))
+		} else {
+			unexported[f.Name] = true
+		}
+	}
+	if want := map[string]bool{"mlpSum": true, "mlpCycles": true}; !reflect.DeepEqual(unexported, want) {
+		t.Fatalf("unexported fields %v; this test sets only %v through the API — extend it", unexported, want)
+	}
+	a.TickMLP(3)
+	a.TickMLP(5) // mlpSum=8, mlpCycles=2
+
+	var b Stats
+	b.Merge(&a)
+	if b != a {
+		bv := reflect.ValueOf(b)
+		for i := 0; i < typ.NumField(); i++ {
+			if !typ.Field(i).IsExported() {
+				continue
+			}
+			if got, want := bv.Field(i).Uint(), av.Field(i).Uint(); got != want {
+				t.Errorf("Merge drops %s: got %d, want %d", typ.Field(i).Name, got, want)
+			}
+		}
+		if b.mlpSum != a.mlpSum || b.mlpCycles != a.mlpCycles {
+			t.Errorf("Merge drops MLP accumulators: got %d/%d, want %d/%d", b.mlpSum, b.mlpCycles, a.mlpSum, a.mlpCycles)
+		}
+		t.Fatal("Merge into zero Stats did not reproduce the source")
+	}
+
+	// Merging is additive: a second merge doubles every counter.
+	b.Merge(&a)
+	if b.Cycles != 2*a.Cycles || b.mlpSum != 2*a.mlpSum || b.RunaheadPrefetches != 2*a.RunaheadPrefetches {
+		t.Fatal("second Merge is not additive")
+	}
+}
+
+// TestRatiosZeroDenominators pins the derived-metric behaviour on empty
+// runs: a Stats with nothing retired (e.g. a sampled run whose measured
+// region never started) reports zeros, not NaN, in every ratio.
+func TestRatiosZeroDenominators(t *testing.T) {
+	var s Stats
+	if v := s.IPC(); v != 0 {
+		t.Errorf("IPC() = %v on zero Stats", v)
+	}
+	if v := s.BranchMPKI(); v != 0 {
+		t.Errorf("BranchMPKI() = %v on zero Stats", v)
+	}
+	if v := s.LLCMPKI(); v != 0 {
+		t.Errorf("LLCMPKI() = %v on zero Stats", v)
+	}
+	if v := s.MLP(); v != 0 {
+		t.Errorf("MLP() = %v on zero Stats", v)
+	}
+	if v := s.StallROBCriticalFrac(); v != 0 {
+		t.Errorf("StallROBCriticalFrac() = %v on zero Stats", v)
+	}
+	// Misses without retires: MPKI denominators stay guarded.
+	s.BranchMispredicts, s.LLCMisses = 10, 10
+	if s.BranchMPKI() != 0 || s.LLCMPKI() != 0 {
+		t.Error("MPKI not guarded with zero retired uops")
+	}
+	// Geomean over interval-derived values: zeros (failed intervals) must
+	// error rather than poison the aggregate.
+	if _, err := Geomean([]float64{1.2, 0, 1.4}); err == nil {
+		t.Error("Geomean accepted a zero sample")
+	}
+	if _, err := Geomean(nil); err != ErrNoSamples {
+		t.Errorf("Geomean(nil) err = %v, want ErrNoSamples", err)
 	}
 }

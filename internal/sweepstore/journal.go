@@ -42,6 +42,14 @@ type Record struct {
 	WarmupUops uint64 `json:"warmup_uops,omitempty"`
 	Version    string `json:"version,omitempty"` // CodeVersion at sweep start
 
+	// Sampled-simulation schedule (zero = full runs). Part of the sweep
+	// identity: sampled and full results are not interchangeable, so a
+	// resume under a different schedule must be rejected, not silently
+	// served from the other schedule's cache.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleMeasure  uint64 `json:"sample_measure,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+
 	// Case fields.
 	Key      string `json:"key,omitempty"` // cache key (StatusDone)
 	Bench    string `json:"bench,omitempty"`

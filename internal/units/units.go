@@ -1,0 +1,122 @@
+// Package units parses human-readable uop counts for CLI flags: plain
+// integers ("200000") and decimal multiples of k/M/G ("200k", "5M",
+// "1.5M"). Suffixes are case-insensitive powers of 1000 — uop counts are
+// decimal quantities, not memory sizes.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// suffixes maps a multiplier suffix to its scale and the number of
+// fractional digits that scale can absorb exactly.
+var suffixes = map[byte]struct {
+	mult uint64
+	frac int
+}{
+	'k': {1_000, 3},
+	'm': {1_000_000, 6},
+	'g': {1_000_000_000, 9},
+}
+
+// ParseUops parses s as a uop count. Accepted forms: a non-negative
+// integer ("0", "200000"), or a non-negative decimal with a k, M or G
+// suffix ("200k", "5M", "1.5M", "0.25g"). A fraction is only meaningful
+// with a suffix, and must come out to a whole number of uops ("1.5k" is
+// 1500; "1.0001k" is rejected).
+func ParseUops(s string) (uint64, error) {
+	orig := s
+	if s == "" {
+		return 0, fmt.Errorf("units: empty uop count")
+	}
+	mult := uint64(1)
+	fracMax := 0
+	if sfx, ok := suffixes[lowerByte(s[len(s)-1])]; ok {
+		mult, fracMax = sfx.mult, sfx.frac
+		s = s[:len(s)-1]
+		if s == "" {
+			return 0, fmt.Errorf("units: %q has a suffix but no number", orig)
+		}
+	}
+	intPart, fracPart, hasFrac := strings.Cut(s, ".")
+	if hasFrac && fracPart == "" {
+		return 0, fmt.Errorf("units: %q has a trailing decimal point", orig)
+	}
+	if hasFrac && mult == 1 {
+		return 0, fmt.Errorf("units: %q is fractional; fractions need a k/M/G suffix", orig)
+	}
+	if hasFrac && len(fracPart) > fracMax {
+		return 0, fmt.Errorf("units: %q is not a whole number of uops", orig)
+	}
+	n, err := strconv.ParseUint(intPart, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad uop count %q", orig)
+	}
+	if n > math.MaxUint64/mult {
+		return 0, fmt.Errorf("units: uop count %q overflows", orig)
+	}
+	v := n * mult
+	if hasFrac {
+		f, err := strconv.ParseUint(fracPart, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("units: bad uop count %q", orig)
+		}
+		scale := mult
+		for range fracPart {
+			scale /= 10
+		}
+		add := f * scale
+		if v > math.MaxUint64-add {
+			return 0, fmt.Errorf("units: uop count %q overflows", orig)
+		}
+		v += add
+	}
+	return v, nil
+}
+
+func lowerByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// FormatUops renders n compactly: an exact multiple of 1e9/1e6/1e3 prints
+// with the G/M/k suffix, everything else as plain digits.
+func FormatUops(n uint64) string {
+	switch {
+	case n >= 1_000_000_000 && n%1_000_000_000 == 0:
+		return strconv.FormatUint(n/1_000_000_000, 10) + "G"
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return strconv.FormatUint(n/1_000_000, 10) + "M"
+	case n >= 1_000 && n%1_000 == 0:
+		return strconv.FormatUint(n/1_000, 10) + "k"
+	default:
+		return strconv.FormatUint(n, 10)
+	}
+}
+
+// Uops is a flag.Value for uop counts: `flag.Var(&n, "uops", ...)` accepts
+// everything ParseUops does and prints back in FormatUops form.
+type Uops uint64
+
+// String implements flag.Value.
+func (u *Uops) String() string {
+	if u == nil {
+		return "0"
+	}
+	return FormatUops(uint64(*u))
+}
+
+// Set implements flag.Value.
+func (u *Uops) Set(s string) error {
+	v, err := ParseUops(s)
+	if err != nil {
+		return err
+	}
+	*u = Uops(v)
+	return nil
+}

@@ -1,0 +1,103 @@
+package units
+
+import (
+	"flag"
+	"math"
+	"testing"
+)
+
+func TestParseUops(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"1", 1, false},
+		{"200000", 200_000, false},
+		{"200k", 200_000, false},
+		{"200K", 200_000, false},
+		{"5M", 5_000_000, false},
+		{"5m", 5_000_000, false},
+		{"2G", 2_000_000_000, false},
+		{"2g", 2_000_000_000, false},
+		{"1.5M", 1_500_000, false},
+		{"1.5k", 1_500, false},
+		{"0.25g", 250_000_000, false},
+		{"1.234k", 1_234, false},
+		{"0.001k", 1, false},
+		{"18446744073709551615", math.MaxUint64, false},
+
+		{"", 0, true},
+		{"k", 0, true},
+		{"M", 0, true},
+		{"1.5", 0, true},     // fraction without suffix
+		{"1.", 0, true},      // trailing point
+		{"1.0001k", 0, true}, // not a whole uop
+		{"1.2345678M", 0, true},
+		{"-5k", 0, true},
+		{"5kk", 0, true},
+		{"5 k", 0, true},
+		{"abc", 0, true},
+		{"0x10", 0, true},
+		{"99999999999999999999G", 0, true}, // overflow
+		{"18446744073709551615k", 0, true}, // overflow via suffix
+	}
+	for _, tc := range cases {
+		got, err := ParseUops(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseUops(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseUops(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseUops(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatUops(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1_000, "1k"},
+		{200_000, "200k"},
+		{1_500, "1500"}, // not an exact multiple style round-trip target
+		{5_000_000, "5M"},
+		{2_000_000_000, "2G"},
+		{1_234_567, "1234567"},
+	}
+	for _, tc := range cases {
+		if got := FormatUops(tc.in); got != tc.want {
+			t.Errorf("FormatUops(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestUopsFlag drives the flag.Value through a real FlagSet, the way the
+// CLIs use it.
+func TestUopsFlag(t *testing.T) {
+	var n Uops
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.Var(&n, "uops", "")
+	if err := fs.Parse([]string{"-uops", "5M"}); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(n) != 5_000_000 {
+		t.Fatalf("parsed %d, want 5000000", n)
+	}
+	if n.String() != "5M" {
+		t.Fatalf("String() = %q, want 5M", n.String())
+	}
+	if err := fs.Parse([]string{"-uops", "bogus"}); err == nil {
+		t.Fatal("bogus uop count accepted")
+	}
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# sample_smoke.sh — sampled-simulation accuracy smoke (DESIGN.md §12).
+#
+# Runs one kernel full-length and sampled (equivalence schedule, oracle
+# attached) through the real cdfsim binary and checks the contract the
+# full matrix test pins: the sampled IPC estimate must land within 5% of
+# the full cycle-accurate run, and the run must report a confidence
+# interval. bzip/cdf is the deliberately hard case: its mask-cache decay
+# troughs are invisible to a sampler whose epoch clocks drift, so this
+# catches warm-state regressions, not just plumbing breaks.
+#
+# Usage: scripts/sample_smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="${1:-$(mktemp -d /tmp/cdf-sample.XXXXXX)}"
+mkdir -p "$work"
+bin="$work/cdfsim"
+bench=bzip
+mode=cdf
+uops=1M
+seed=1
+
+echo "sample-smoke: workdir $work"
+go build -o "$bin" ./cmd/cdfsim
+
+"$bin" -bench "$bench" -mode "$mode" -uops "$uops" -seed "$seed" \
+    >"$work/full.txt"
+"$bin" -bench "$bench" -mode "$mode" -uops "$uops" -seed "$seed" \
+    -sample-interval 50k -sample-measure 8k -sample-warmup 4k -oracle \
+    >"$work/sampled.txt"
+
+full_ipc=$(awk '$1 == "ipc" {print $2; exit}' "$work/full.txt")
+samp_ipc=$(awk '$1 == "ipc" {print $2; exit}' "$work/sampled.txt")
+if [ -z "$full_ipc" ] || [ -z "$samp_ipc" ]; then
+    echo "sample-smoke: FAIL: missing ipc line (full='$full_ipc' sampled='$samp_ipc')" >&2
+    exit 1
+fi
+
+if ! grep -q '^sampled ' "$work/sampled.txt"; then
+    echo "sample-smoke: FAIL: sampled run printed no interval summary" >&2
+    cat "$work/sampled.txt" >&2
+    exit 1
+fi
+if ! grep -q '^ipc 95% ci' "$work/sampled.txt"; then
+    echo "sample-smoke: FAIL: sampled run printed no confidence interval" >&2
+    cat "$work/sampled.txt" >&2
+    exit 1
+fi
+
+# |sampled - full| / full <= 5%, in awk (no bc in minimal runners).
+if ! awk -v f="$full_ipc" -v s="$samp_ipc" 'BEGIN {
+    d = s - f; if (d < 0) d = -d
+    err = d / f
+    printf "sample-smoke: full ipc %s, sampled ipc %s (rel err %.2f%%)\n", f, s, 100 * err
+    exit (err <= 0.05 ? 0 : 1)
+}'; then
+    echo "sample-smoke: FAIL: sampled IPC off by more than 5%" >&2
+    exit 1
+fi
+
+echo "sample-smoke: PASS"
