@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke shellcheck bench bench-smoke ci clean
+.PHONY: all build vet test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke front-smoke shellcheck bench bench-smoke ci clean
 
 all: build
 
@@ -55,6 +55,13 @@ sweepd-smoke:
 sample-smoke:
 	scripts/sample_smoke.sh
 
+# Instruction-supply smoke (DESIGN.md §13): one frontend-bound kernel
+# through cdfsim with the frontend off, timing-only, and FDIP+shadow-BTB;
+# the timing path must agree with the legacy blocking path, FDIP must
+# recover IPC, and the frontend statistics must be reported.
+front-smoke:
+	scripts/front_smoke.sh
+
 # Lint the smoke scripts. Skips gracefully where shellcheck is not
 # installed (CI's ubuntu runners have it).
 shellcheck:
@@ -81,7 +88,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimSpeed$$' -benchtime 1x -benchmem . | tee bench-smoke.txt
 	$(GO) test ./internal/core -run TestSteadyStateAllocs -count 1
 
-ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke shellcheck
+ci: vet build test race fuzz-smoke oracle-smoke chaos-smoke sweepd-smoke sample-smoke front-smoke shellcheck
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,7 @@ import (
 
 	"cdf/internal/core"
 	"cdf/internal/energy"
+	"cdf/internal/front"
 	"cdf/internal/harness"
 	"cdf/internal/oracle"
 	"cdf/internal/stats"
@@ -73,6 +74,9 @@ type Options struct {
 	// WarmupUops warms caches, predictors and the criticality machinery
 	// before statistics start (the paper warms for 200M instructions
 	// before each SimPoint). The measured region is MaxUops - WarmupUops.
+	// With Sampling it is the cold-start skip: the sampling strata begin
+	// at WarmupUops (the skipped region is fast-forwarded with functional
+	// warming), so measurement covers only steady state.
 	WarmupUops uint64
 
 	// ROBSize scales the instruction window (0 = Table 1's 352); the other
@@ -118,6 +122,28 @@ type Options struct {
 	// *oracle.DivergenceError carrying both machines' states.
 	Oracle bool
 
+	// Frontend enables the instruction-supply subsystem (internal/front;
+	// DESIGN.md §13): a timed L1I on the fetch path, so instruction misses
+	// stall fetch instead of being free. Off by default — the frontend then
+	// behaves bit-identically to the pre-subsystem simulator.
+	Frontend bool
+
+	// PerfectL1I keeps the timed frontend's accounting but makes every
+	// instruction fetch hit (the upper bound FDIP recovery is measured
+	// against). Requires Frontend.
+	PerfectL1I bool
+
+	// FDIP adds the decoupled fetch-directed instruction prefetcher: an
+	// FTQ-driven walker runs ahead of fetch and prefetches instruction
+	// lines into the L1I under accuracy-based throttling. Requires
+	// Frontend; incompatible with PerfectL1I.
+	FDIP bool
+
+	// ShadowBTB adds shadow-branch decoding: branches found in fetched
+	// lines are decoded into a shadow BTB that backs up the main BTB on
+	// target misses and extends the FDIP walker's reach. Requires Frontend.
+	ShadowBTB bool
+
 	// SlowPath runs the reference cycle loop instead of the optimised
 	// scheduler and event-driven idle skip (core.Config.SlowPath). The two
 	// paths produce bit-identical results; this exists for the -slowpath
@@ -127,7 +153,7 @@ type Options struct {
 	// Sampling enables sampled simulation (see the Sampling type): the
 	// emulator fast-forwards between cycle-accurate measured intervals,
 	// making MaxUops budgets 100x longer tractable at near-constant cost.
-	// Incompatible with WarmupUops (sampling warms per interval).
+	// WarmupUops shifts the sampling schedule past the cold start.
 	Sampling Sampling
 }
 
@@ -169,6 +195,12 @@ func (o Options) Validate() error {
 	if o.Timeout < 0 {
 		return fmt.Errorf("cdf: negative Timeout %v", o.Timeout)
 	}
+	if !o.Frontend && (o.PerfectL1I || o.FDIP || o.ShadowBTB) {
+		return fmt.Errorf("cdf: PerfectL1I/FDIP/ShadowBTB require Frontend")
+	}
+	if o.FDIP && o.PerfectL1I {
+		return fmt.Errorf("cdf: FDIP is meaningless with PerfectL1I (nothing to prefetch)")
+	}
 	return o.Sampling.validate(o.effectiveMaxUops(), o.WarmupUops)
 }
 
@@ -197,6 +229,18 @@ func (o Options) coreConfig() core.Config {
 	cfg.CDF.DisableMaskCache = o.NoMaskCache
 	if o.CUCKB > 0 {
 		cfg.CDF.CUCLines = o.CUCKB * 1024 / 64
+	}
+	if o.Frontend {
+		fc := front.Default()
+		fc.PerfectL1I = o.PerfectL1I
+		fc.FDIP = o.FDIP
+		fc.ShadowBTB = o.ShadowBTB
+		cfg.Front = fc
+		if o.FDIP {
+			// The prefetcher shares the L1I MSHRs with demand fetch; give
+			// it headroom so prefetches don't starve demand misses.
+			cfg.Mem.L1IMSHRs = 16
+		}
 	}
 	cfg.TrainCriticality = o.TrainCriticality
 	cfg.SlowPath = o.SlowPath
@@ -261,20 +305,37 @@ type Result struct {
 	Sample *SampleSummary `json:",omitempty"`
 }
 
+// Metric returns the named counter from the Metrics table (0 if absent —
+// the table always carries every stats field, so a miss means a typo'd
+// name, which the experiments' own tests would catch).
+func (r Result) Metric(name string) float64 {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
 // BenchmarkInfo describes one suite kernel.
 type BenchmarkInfo struct {
 	Name      string
 	SPEC      string // the SPEC benchmark this kernel is the stand-in for
 	Phenotype string
 	Expect    string // the paper's qualitative winner: cdf / pre / both / neither
+	// Frontend marks the instruction-supply-bound kernels beyond the
+	// paper's suite; the Fig. 13–17 default sweeps skip them (FrontSupply
+	// drives them instead).
+	Frontend bool
 }
 
-// Benchmarks lists the suite (one kernel per paper benchmark), name-sorted.
+// Benchmarks lists the suite (one kernel per paper benchmark plus the
+// frontend-bound family), name-sorted.
 func Benchmarks() []BenchmarkInfo {
 	ws := workload.All()
 	out := make([]BenchmarkInfo, len(ws))
 	for i, w := range ws {
-		out[i] = BenchmarkInfo{Name: w.Name, SPEC: w.SPEC, Phenotype: w.Phenotype, Expect: w.Expect}
+		out[i] = BenchmarkInfo{Name: w.Name, SPEC: w.SPEC, Phenotype: w.Phenotype, Expect: w.Expect, Frontend: w.Frontend}
 	}
 	return out
 }
@@ -377,6 +438,14 @@ func energyParams(cfg core.Config) energy.Params {
 		p.MaskBytes = cfg.CDF.MaskEntries * 8
 		p.FillBufBytes = cfg.CDF.FillBufferSize * 16
 		p.FIFOBytes = cfg.CDF.DBQSize*4 + cfg.CDF.CMQSize*2
+	}
+	if cfg.Front.Enabled {
+		p.FrontEnabled = true
+		p.FTQBytes = cfg.Front.FTQSize * 8 // one line address per entry
+		if cfg.Front.ShadowBTB {
+			// Tag + target per entry, like the main BTB.
+			p.ShadowBTBBytes = cfg.Front.ShadowEntries * 16
+		}
 	}
 	return p
 }

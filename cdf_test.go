@@ -7,8 +7,17 @@ import (
 
 func TestBenchmarksRegistry(t *testing.T) {
 	bs := Benchmarks()
-	if len(bs) != 17 {
-		t.Fatalf("suite has %d benchmarks, want 17", len(bs))
+	if len(bs) != 20 {
+		t.Fatalf("suite has %d benchmarks, want 20 (17 paper + 3 frontend)", len(bs))
+	}
+	frontend := 0
+	for _, b := range bs {
+		if b.Frontend {
+			frontend++
+		}
+	}
+	if frontend != 3 {
+		t.Fatalf("suite has %d frontend kernels, want 3", frontend)
 	}
 	for _, b := range bs {
 		if b.Name == "" || b.SPEC == "" || b.Phenotype == "" {

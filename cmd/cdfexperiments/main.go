@@ -85,6 +85,7 @@ var experiments = []struct {
 	{"partition", "§3.5 ablation: dynamic vs static partitioning", runPartition},
 	{"maskcache", "§3.6 ablation: Mask Cache", runMaskCache},
 	{"cucsweep", "Critical Uop Cache capacity sensitivity", runCUCSweep},
+	{"front", "DESIGN.md §13: instruction supply (FDIP recovery, shadow-BTB reach)", runFront},
 }
 
 // main delegates to run so that deferred cleanup — profile flush and,
@@ -492,6 +493,26 @@ func runCUCSweep(o cdf.SuiteOptions) ([]*report.Table, error) {
 	}
 	for _, r := range rows {
 		t.AddRow(fmt.Sprintf("%d", r.CUCKB), report.Pct(r.CDFSpeedup))
+	}
+	return []*report.Table{t}, err
+}
+
+func runFront(o cdf.SuiteOptions) ([]*report.Table, error) {
+	rows, err := cdf.FrontSupply(o)
+	t := &report.Table{
+		Title: "Instruction supply (DESIGN.md §13): FDIP recovery and shadow-BTB reach",
+		Note: "recovery = share of the perfect-L1I IPC gap closed (acceptance floor 0.5); " +
+			"btb-stall columns are fetch_stall_btb cycles per kuop with FDIP, without vs with shadow decoding",
+		Columns: []string{"benchmark", "timing", "+fdip", "+fdip+shadow", "perfect-l1i",
+			"l1i-mpki", "recovery", "recovery+shadow", "btb-stall", "btb-stall+shadow"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.3f", r.TimingIPC), fmt.Sprintf("%.3f", r.FDIPIPC),
+			fmt.Sprintf("%.3f", r.ShadowIPC), fmt.Sprintf("%.3f", r.PerfectIPC),
+			fmt.Sprintf("%.1f", r.L1IMPKI),
+			report.Frac(r.Recovery), report.Frac(r.RecoveryShadow),
+			fmt.Sprintf("%.1f", r.BTBStallFDIP), fmt.Sprintf("%.1f", r.BTBStallShadow))
 	}
 	return []*report.Table{t}, err
 }

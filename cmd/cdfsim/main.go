@@ -53,9 +53,14 @@ func main() {
 		rob                      = flag.Int("rob", 0, "ROB size override (0 = Table 1's 352; other structures scale)")
 		seed                     = flag.Uint64("seed", 0, "run seed: wrong-path models and failure reports (0 = randomized)")
 		noBr                     = flag.Bool("no-critical-branches", false, "disable hard-to-predict branch marking (ablation)")
-		list                     = flag.Bool("list", false, "list benchmarks and exit")
-		prtCfg                   = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
-		traceN                   = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
+
+		frontend   = flag.Bool("frontend", false, "enable the instruction-supply subsystem: timed L1I on the fetch path")
+		perfectL1I = flag.Bool("perfect-l1i", false, "frontend upper bound: every instruction fetch hits (requires -frontend)")
+		fdip       = flag.Bool("fdip", false, "decoupled fetch-directed L1I prefetcher (requires -frontend)")
+		shadowBTB  = flag.Bool("shadow-btb", false, "shadow-branch decoding into a shadow BTB (requires -frontend)")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		prtCfg     = flag.Bool("print-config", false, "print the Table 1 configuration and exit")
+		traceN     = flag.Int("trace", 0, "print the first N pipeline trace events and exit")
 
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: serve a verified prior result, else simulate and record")
 
@@ -136,6 +141,10 @@ func main() {
 		Paranoid:   *paranoid,
 		Oracle:     *oracleOn,
 		SlowPath:   *slowPath,
+		Frontend:   *frontend,
+		PerfectL1I: *perfectL1I,
+		FDIP:       *fdip,
+		ShadowBTB:  *shadowBTB,
 		Sampling: cdf.Sampling{
 			Interval: uint64(sampIvl),
 			Measure:  uint64(sampMeas),

@@ -17,6 +17,7 @@ import (
 
 	"cdf/internal/core"
 	"cdf/internal/emu"
+	"cdf/internal/front"
 	"cdf/internal/harness"
 	"cdf/internal/profiling"
 	"cdf/internal/units"
@@ -28,6 +29,11 @@ func main() {
 		bench  = flag.String("bench", "astar", "benchmark kernel")
 		disasm = flag.Bool("disasm", false, "print the kernel's static program")
 		dyn    = flag.Int("dyn", 32, "number of dynamic uops to dump")
+
+		frontend   = flag.Bool("frontend", false, "train under the instruction-supply subsystem (timed L1I)")
+		perfectL1I = flag.Bool("perfect-l1i", false, "frontend upper bound: every instruction fetch hits (requires -frontend)")
+		fdip       = flag.Bool("fdip", false, "decoupled fetch-directed L1I prefetcher (requires -frontend)")
+		shadowBTB  = flag.Bool("shadow-btb", false, "shadow-branch decoding into a shadow BTB (requires -frontend)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -64,6 +70,21 @@ func main() {
 	cfg.Mode = core.ModeCDF
 	cfg.MaxRetired = uint64(train)
 	cfg.MaxCycles = uint64(train) * 100
+	if *frontend {
+		// Train under the timed frontend so the criticality marks reflect
+		// the instruction-supply behaviour the flags describe.
+		fc := front.Default()
+		fc.PerfectL1I = *perfectL1I
+		fc.FDIP = *fdip
+		fc.ShadowBTB = *shadowBTB
+		cfg.Front = fc
+		if *fdip {
+			cfg.Mem.L1IMSHRs = 16
+		}
+	} else if *perfectL1I || *fdip || *shadowBTB {
+		fmt.Fprintln(os.Stderr, "cdftrace: -perfect-l1i/-fdip/-shadow-btb require -frontend")
+		os.Exit(1)
+	}
 	c, err := core.New(cfg, p, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdftrace:", err)

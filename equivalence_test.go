@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cdf/internal/core"
+	"cdf/internal/front"
 	"cdf/internal/oracle"
 	"cdf/internal/workload"
 )
@@ -19,15 +20,26 @@ import (
 func TestFastSlowEquivalence(t *testing.T) {
 	const uops = 25_000
 	variants := []struct {
-		name string
-		mut  func(*core.Config)
+		name     string
+		allModes bool // run the variant on every mode, not just CDF/Hybrid
+		mut      func(*core.Config)
 	}{
-		{"default", nil},
-		{"static-partition", func(cfg *core.Config) { cfg.CDF.DisableDynamicPartition = true }},
+		{"default", true, nil},
+		{"static-partition", false, func(cfg *core.Config) { cfg.CDF.DisableDynamicPartition = true }},
+		// The full instruction-supply stack: timed L1I, FDIP, shadow BTB.
+		// Equivalence here covers the frontend engine's own state in the
+		// idle-skip signature and the FDIP-specific skip bound.
+		{"frontend", true, func(cfg *core.Config) {
+			fc := front.Default()
+			fc.FDIP = true
+			fc.ShadowBTB = true
+			cfg.Front = fc
+			cfg.Mem.L1IMSHRs = 16
+		}},
 	}
 	for _, mm := range simModes {
 		for _, v := range variants {
-			if v.mut != nil && mm.mode != core.ModeCDF && mm.mode != core.ModeHybrid {
+			if !v.allModes && mm.mode != core.ModeCDF && mm.mode != core.ModeHybrid {
 				continue // partition ablations only exist where partitions do
 			}
 			for _, w := range workload.All() {

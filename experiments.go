@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"cdf/internal/core"
@@ -90,9 +91,14 @@ func (o SuiteOptions) benches() []string {
 	if len(o.Benchmarks) > 0 {
 		return o.Benchmarks
 	}
+	// The default suite is the paper's: the frontend-bound family measures
+	// a bottleneck the Fig. 13–17 machines don't touch, so it would only
+	// dilute their geomeans. FrontSupply selects it explicitly.
 	var names []string
 	for _, b := range Benchmarks() {
-		names = append(names, b.Name)
+		if !b.Frontend {
+			names = append(names, b.Name)
+		}
 	}
 	return names
 }
@@ -435,6 +441,134 @@ func AblationNoCriticalBranches(o SuiteOptions) ([]AblationRow, error) {
 			CDFSpeedup:          base[runKey{b, ModeCDF}].IPC / b0.IPC,
 			NoCritBranchSpeedup: noBrRes[runKey{b, ModeCDF}].IPC / b0.IPC,
 		})
+	}
+	return rows, sweep.orNil()
+}
+
+// --- Instruction supply (DESIGN.md §13) ---
+
+// FrontRow is one frontend-bound kernel's instruction-supply results: IPC
+// under the four frontend variants, the timing variant's L1I pressure, how
+// much of the perfect-L1I gap FDIP recovers, and how much of the
+// BTB-miss-driven fetch-stall time shadow-branch decoding removes.
+type FrontRow struct {
+	Benchmark string
+
+	// IPC per variant: timed L1I only; + FDIP; + FDIP and shadow-branch
+	// decoding; and the perfect-L1I upper bound.
+	TimingIPC  float64
+	FDIPIPC    float64
+	ShadowIPC  float64
+	PerfectIPC float64
+
+	// L1IMPKI is the timing variant's demand L1I miss rate — the size of
+	// the problem FDIP is asked to hide.
+	L1IMPKI float64
+
+	// Recovery is (FDIP − timing) / (perfect − timing): the fraction of
+	// the instruction-supply IPC gap the prefetcher closes. The PR's
+	// acceptance floor is 0.5 on the frontend suite. RecoveryShadow is the
+	// same fraction with shadow-branch decoding extending the walker's
+	// reach — the number that matters on BTB-capacity-bound code, where
+	// plain FDIP cannot see past taken branches the BTB has evicted.
+	Recovery       float64
+	RecoveryShadow float64
+
+	// BTBStallFDIP/BTBStallShadow are fetch_stall_btb cycles (per kilo-uop)
+	// without and with shadow-branch decoding, both on top of FDIP.
+	BTBStallFDIP   float64
+	BTBStallShadow float64
+}
+
+// frontVariants are the four machines FrontSupply compares. Order matters:
+// it is the column order of the report table.
+var frontVariants = []struct {
+	name string
+	mut  func(*Options)
+}{
+	{"timing", func(o *Options) { o.Frontend = true }},
+	{"fdip", func(o *Options) { o.Frontend, o.FDIP = true, true }},
+	{"shadow", func(o *Options) { o.Frontend, o.FDIP, o.ShadowBTB = true, true, true }},
+	{"perfect", func(o *Options) { o.Frontend, o.PerfectL1I = true, true }},
+}
+
+// FrontSupply runs the frontend-bound kernels (workload/front.go) under the
+// four instruction-supply variants on the baseline machine. Empty
+// o.Benchmarks selects exactly the frontend suite; an explicit list runs
+// those kernels instead (they need not be frontend-marked).
+func FrontSupply(o SuiteOptions) ([]FrontRow, error) {
+	benches := o.Benchmarks
+	if len(benches) == 0 {
+		for _, b := range Benchmarks() {
+			if b.Frontend {
+				benches = append(benches, b.Name)
+			}
+		}
+	}
+	type caseKey struct {
+		bench   string
+		variant int
+	}
+	keys := make([]caseKey, 0, len(benches)*len(frontVariants))
+	for _, b := range benches {
+		for v := range frontVariants {
+			keys = append(keys, caseKey{b, v})
+		}
+	}
+	results := make(map[caseKey]Result, len(keys))
+	var mu sync.Mutex
+	errs := harness.Pool(o.ctx(), o.Jobs, len(keys), func(ctx context.Context, i int) error {
+		opt := o.runOptions()
+		opt.Mode = ModeBaseline
+		frontVariants[keys[i].variant].mut(&opt)
+		res, _, err := runCase(ctx, keys[i].bench, opt, o)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[keys[i]] = res
+		mu.Unlock()
+		return nil
+	})
+	var sweep *SweepError
+	for i, err := range errs {
+		if err != nil {
+			if sweep == nil {
+				sweep = &SweepError{}
+			}
+			sweep.Failures = append(sweep.Failures, RunError{keys[i].bench, ModeBaseline, err})
+		}
+	}
+	rows := make([]FrontRow, 0, len(benches))
+	for _, b := range benches {
+		complete := true
+		for v := range frontVariants {
+			if _, ok := results[caseKey{b, v}]; !ok {
+				complete = false
+			}
+		}
+		if !complete {
+			continue
+		}
+		timing := results[caseKey{b, 0}]
+		fdip := results[caseKey{b, 1}]
+		shadow := results[caseKey{b, 2}]
+		perfect := results[caseKey{b, 3}]
+		row := FrontRow{
+			Benchmark:  b,
+			TimingIPC:  timing.IPC,
+			FDIPIPC:    fdip.IPC,
+			ShadowIPC:  shadow.IPC,
+			PerfectIPC: perfect.IPC,
+			L1IMPKI:    timing.Metric("l1i_mpki"),
+		}
+		if gap := perfect.IPC - timing.IPC; gap > 0 {
+			row.Recovery = (fdip.IPC - timing.IPC) / gap
+			row.RecoveryShadow = (shadow.IPC - timing.IPC) / gap
+		}
+		row.BTBStallFDIP = 1000 * fdip.Metric("fetch_stall_btb") / float64(fdip.Uops)
+		row.BTBStallShadow = 1000 * shadow.Metric("fetch_stall_btb") / float64(shadow.Uops)
+		rows = append(rows, row)
 	}
 	return rows, sweep.orNil()
 }

@@ -344,3 +344,101 @@ func TestTageFoldedIncremental(t *testing.T) {
 		}
 	}
 }
+
+// TestRASWraparound exercises the circular overflow path end to end: a
+// stream of pushes twice the stack depth must keep exactly the newest
+// `depth` continuations in LIFO order, and draining past them must count
+// every extra pop as an underflow without wedging the stack.
+func TestRASWraparound(t *testing.T) {
+	const depth = 4
+	ras := NewRAS(depth)
+	for i := uint64(1); i <= 2*depth; i++ {
+		ras.Push(i * 0x10)
+	}
+	if want := uint64(depth); ras.Overflows != want {
+		t.Fatalf("Overflows = %d, want %d", ras.Overflows, want)
+	}
+	// The survivors are the newest `depth` entries, popped newest-first.
+	for i := uint64(2 * depth); i > depth; i-- {
+		got, ok := ras.Pop()
+		if !ok || got != i*0x10 {
+			t.Fatalf("pop = (%#x, %v), want %#x", got, ok, i*0x10)
+		}
+	}
+	// Everything older was overwritten by the wraparound.
+	for i := 0; i < 3; i++ {
+		if _, ok := ras.Pop(); ok {
+			t.Fatalf("pop %d after drain should underflow", i)
+		}
+	}
+	if want := uint64(3); ras.Underflows != want {
+		t.Fatalf("Underflows = %d, want %d", ras.Underflows, want)
+	}
+	// The stack still works after underflowing.
+	ras.Push(0xABC)
+	if got, ok := ras.Pop(); !ok || got != 0xABC {
+		t.Fatalf("post-underflow pop = (%#x, %v), want 0xABC", got, ok)
+	}
+}
+
+// TestBTBAliasingLRU pins the replacement policy under set aliasing: when
+// three branches contend for a 2-way set, the least-recently-used way is
+// the victim, and a demand Lookup refreshes recency while Probe (the
+// frontend walker's side-effect-free path) must not.
+func TestBTBAliasingLRU(t *testing.T) {
+	cfg := BTBConfig{Entries: 8, Ways: 2} // 4 sets; set = (pc>>3)%4
+	stride := uint64(4 * 8)               // same-set alias distance
+	a, b, c := uint64(0x1000), uint64(0x1000)+stride, uint64(0x1000)+2*stride
+
+	// A demand Lookup promotes its entry, so the other way is evicted.
+	btb := NewBTB(cfg)
+	btb.Update(a, 0xA)
+	btb.Update(b, 0xB)
+	if _, hit := btb.Lookup(a); !hit {
+		t.Fatal("a should hit before any eviction")
+	}
+	btb.Update(c, 0xC) // must evict b, the LRU way
+	if _, hit := btb.Lookup(b); hit {
+		t.Fatal("b should have been the LRU victim")
+	}
+	if tgt, hit := btb.Lookup(a); !hit || tgt != 0xA {
+		t.Fatalf("a = (%#x, %v), want (0xA, true)", tgt, hit)
+	}
+	if tgt, hit := btb.Lookup(c); !hit || tgt != 0xC {
+		t.Fatalf("c = (%#x, %v), want (0xC, true)", tgt, hit)
+	}
+
+	// Probe leaves recency untouched: after probing a (the older way),
+	// a is still the LRU victim when c arrives.
+	btb = NewBTB(cfg)
+	btb.Update(a, 0xA)
+	btb.Update(b, 0xB)
+	hitsBefore, missesBefore := btb.Hits, btb.Misses
+	if tgt, ok := btb.Probe(a); !ok || tgt != 0xA {
+		t.Fatalf("probe a = (%#x, %v), want (0xA, true)", tgt, ok)
+	}
+	if btb.Hits != hitsBefore || btb.Misses != missesBefore {
+		t.Fatal("Probe must not touch the hit/miss counters")
+	}
+	btb.Update(c, 0xC) // must evict a despite the probe
+	if _, hit := btb.Lookup(a); hit {
+		t.Fatal("a should have been evicted: Probe must not refresh LRU")
+	}
+	if _, hit := btb.Lookup(b); !hit {
+		t.Fatal("b should survive: it was more recent than a")
+	}
+
+	// An aliasing update to an existing tag refreshes in place rather
+	// than consuming a way.
+	btb = NewBTB(cfg)
+	btb.Update(a, 0xA)
+	btb.Update(b, 0xB)
+	btb.Update(a, 0xA2) // refresh, not insert
+	btb.Update(c, 0xC)  // evicts b
+	if tgt, hit := btb.Lookup(a); !hit || tgt != 0xA2 {
+		t.Fatalf("refreshed a = (%#x, %v), want (0xA2, true)", tgt, hit)
+	}
+	if _, hit := btb.Lookup(b); hit {
+		t.Fatal("b should have been evicted after a's in-place refresh")
+	}
+}

@@ -56,6 +56,21 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	return 0, false
 }
 
+// Probe returns the target for the branch at pc without touching LRU state
+// or the hit/miss counters. The decoupled frontend walker uses it to gate
+// its lookahead on BTB reach without perturbing the demand path's
+// replacement decisions.
+func (b *BTB) Probe(pc uint64) (target uint64, ok bool) {
+	set := b.set(pc)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == pc {
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
 // Update installs or refreshes the target for the branch at pc.
 func (b *BTB) Update(pc, target uint64) {
 	set := b.set(pc)

@@ -860,6 +860,7 @@ func (c *Core) recoverBranch(br *entry) {
 	c.haveFetchLine = false
 	if wasAhead {
 		c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+		c.fetchStallReason = stallRedirect
 	}
 
 	if !c.cdfOn {
@@ -908,6 +909,7 @@ func (c *Core) dependenceViolation(v *entry) {
 	c.regWPActive = false
 	c.haveFetchLine = false
 	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+	c.fetchStallReason = stallRedirect
 }
 
 // memoryViolation flushes from a load that read memory too early and
@@ -924,6 +926,7 @@ func (c *Core) memoryViolation(ld *entry) {
 	c.regNextSeq = minU(c.regNextSeq, seq)
 	c.haveFetchLine = false
 	c.fetchStallUntil = c.now + uint64(c.cfg.RedirectPenalty)
+	c.fetchStallReason = stallRedirect
 }
 
 func minU(a, b uint64) uint64 {

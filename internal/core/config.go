@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"cdf/internal/cdf"
+	"cdf/internal/front"
 	"cdf/internal/isa"
 	"cdf/internal/mem"
 )
@@ -69,6 +70,11 @@ type Config struct {
 
 	// Memory system.
 	Mem mem.Config
+
+	// Front configures the instruction-supply subsystem (FDIP, shadow-branch
+	// decoding, perfect-L1I; DESIGN.md §13). The zero value disables it and
+	// leaves the fetch stage bit-identical to the pre-subsystem core.
+	Front front.Config
 
 	// CDF structures and policies (used by ModeCDF and ModePRE, and by
 	// observe-only criticality marking).
@@ -199,6 +205,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: WrongPathLoadFrac out of [0,1]")
 	}
 	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := c.Front.Validate(); err != nil {
 		return err
 	}
 	return c.CDF.Validate()

@@ -9,6 +9,9 @@ import (
 // fetch runs both fetch engines for one cycle: the CDF critical fetcher
 // (when in CDF mode) and the regular fetcher.
 func (c *Core) fetch() {
+	if c.fr != nil {
+		c.frontCycle()
+	}
 	if c.cdfOn && !c.cdfExitPending {
 		c.critFetch()
 	}
@@ -32,7 +35,7 @@ func (c *Core) retContinuationPC(rec *streamRec) uint64 {
 
 func (c *Core) regFetch() {
 	if c.now < c.fetchStallUntil {
-		c.st.FetchStallCycles++
+		c.tickFetchStall()
 		return
 	}
 	if c.regWPActive {
@@ -68,11 +71,18 @@ func (c *Core) regFetch() {
 			if lineAccesses > 2 {
 				break
 			}
-			done := c.hier.FetchInst(dyn.PC, c.now)
-			c.lastFetchLine, c.haveFetchLine = line, true
-			if done > c.now+uint64(c.cfg.Mem.L1ILatency) {
-				c.fetchStallUntil = done
-				break
+			if c.fr != nil {
+				if c.fetchLineFront(dyn.PC, line) {
+					break
+				}
+			} else {
+				done := c.hier.FetchInst(dyn.PC, c.now)
+				c.lastFetchLine, c.haveFetchLine = line, true
+				if done > c.now+uint64(c.cfg.Mem.L1ILatency) {
+					c.fetchStallUntil = done
+					c.fetchStallReason = stallIMiss
+					break
+				}
 			}
 		}
 
@@ -177,9 +187,19 @@ func (c *Core) predictAndCheck(e *entry, rec *streamRec) (mispredicted bool) {
 	}
 	if dyn.Taken {
 		if !pr.TargetHit {
+			if c.fr != nil && c.fr.shadow != nil {
+				if t, ok := c.fr.shadow.Backup(dyn.PC); ok && t == dyn.NextPC {
+					// A shadow branch decoded from an already-fetched line
+					// supplies the target: no re-steer bubble.
+					c.st.ShadowBTBHits++
+					e.pred.Target, e.pred.TargetHit = t, true
+					return false
+				}
+			}
 			// Target computed at decode: short re-steer.
 			c.st.BTBMisses++
 			c.fetchStallUntil = c.now + uint64(c.cfg.BTBMissPenalty)
+			c.fetchStallReason = stallBTB
 			return false
 		}
 		if pr.Target != dyn.NextPC {

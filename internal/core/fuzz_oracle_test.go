@@ -11,6 +11,7 @@ import (
 
 	"cdf/internal/core"
 	"cdf/internal/emu"
+	"cdf/internal/front"
 	"cdf/internal/oracle"
 	"cdf/internal/prog"
 )
@@ -41,6 +42,17 @@ func FuzzCore(f *testing.F) {
 		cfg.MaxCycles = 1_500_000
 		cfg.WatchdogCycles = 20_000
 		cfg.ParanoidEvery = 97
+		// High bits of the mode byte exercise the instruction-supply
+		// subsystem: bit 2 enables the timed frontend, bit 3 layers
+		// FDIP + shadow decoding on top.
+		if modeByte&4 != 0 {
+			cfg.Front = front.Default()
+			if modeByte&8 != 0 {
+				cfg.Front.FDIP = true
+				cfg.Front.ShadowBTB = true
+				cfg.Mem.L1IMSHRs = 16
+			}
+		}
 		c, err := core.New(cfg, p, m)
 		if err != nil {
 			t.Fatal(err)

@@ -49,10 +49,14 @@ type coreSig struct {
 
 	regSeq, regNextSeq, lastAllocSeq uint64
 	fetchStallUntil                  uint64
+	fetchStallReason                 uint8
 	regWPActive                      bool
 	regWPSeq                         uint64
 	lastFetchLine                    uint64
 	haveFetchLine                    bool
+
+	// Instruction-supply engine (zero when disabled; see isupply.go).
+	front frontSig
 
 	cdfOn, cdfExitPending bool
 	cdfEntrySeq           uint64
@@ -103,9 +107,11 @@ func (c *Core) sig() coreSig {
 		robCritHead: c.robCrit.head(), robNonHead: c.robNon.head(),
 
 		regSeq: c.regSeq, regNextSeq: c.regNextSeq, lastAllocSeq: c.lastAllocSeq,
-		fetchStallUntil: c.fetchStallUntil,
-		regWPActive:     c.regWPActive, regWPSeq: c.regWPSeq,
+		fetchStallUntil:  c.fetchStallUntil,
+		fetchStallReason: c.fetchStallReason,
+		regWPActive:      c.regWPActive, regWPSeq: c.regWPSeq,
 		lastFetchLine: c.lastFetchLine, haveFetchLine: c.haveFetchLine,
+		front: c.frontSigNow(),
 
 		cdfOn: c.cdfOn, cdfExitPending: c.cdfExitPending,
 		cdfEntrySeq: c.cdfEntrySeq, cdfEpoch: c.cdfEpoch,
@@ -207,6 +213,20 @@ func (c *Core) nextEvent() (uint64, bool) {
 		if at := c.critQ.items[0].at; at >= c.now {
 			min(at)
 		}
+	}
+	// FDIP issue blocked on full L1I MSHRs: a non-empty FTQ in an idle
+	// cycle means every issue slot bounced off a busy MSHR file (any other
+	// outcome — a pop, an issue — sets the work flag), so the queue drains
+	// when the earliest in-flight fill completes. Fills never complete in
+	// the past here (PrefetchInst prunes expired entries when it checks
+	// capacity), but clamp to now anyway so a surprise forces a real cycle
+	// instead of an unsound skip.
+	if c.fr != nil && c.fr.fdip != nil && c.fr.fdip.Len() > 0 {
+		d, ok := c.hier.L1INextPendingReady()
+		if !ok {
+			return 0, false
+		}
+		min(maxU(d, c.now))
 	}
 	if ev == none {
 		return 0, false

@@ -6,6 +6,7 @@ import (
 	"cdf/internal/branch"
 	"cdf/internal/cdf"
 	"cdf/internal/emu"
+	"cdf/internal/front"
 	"cdf/internal/mem"
 	"cdf/internal/prog"
 	"cdf/internal/stats"
@@ -40,6 +41,17 @@ type Warmer struct {
 	maskc     *cdf.MaskCache
 	cuc       *cdf.UopCache
 	fb        *cdf.FillBuffer
+
+	// Instruction-supply structures (nil unless the subsystem and the
+	// relevant feature are enabled). Like the predictor, they persist
+	// across sampled intervals: the shadow BTB keeps its decoded targets
+	// and the throttle its cycle-accurately chosen degree. Warming decodes
+	// shadow branches from each distinct fetched line (mirroring the timed
+	// path, minus the one-cycle delay timing cannot matter for) but issues
+	// no prefetches, so the throttle's counters stay frozen by construction.
+	frontShadow *front.ShadowBTB
+	frontDec    *front.Decoder
+	frontThr    *front.Throttle
 
 	n uint64 // uops observed
 
@@ -90,6 +102,13 @@ func NewWarmer(cfg Config, p *prog.Program) (*Warmer, error) {
 	w.maskc = cdf.NewMaskCache(cc.MaskEntries, cc.MaskWays)
 	w.cuc = cdf.NewUopCache(cc.CUCLines, cc.CUCWays, cc.CUCLineUops)
 	w.fb = cdf.NewFillBuffer(cc, w.maskc, w.cuc)
+	if cfg.Front.Enabled && cfg.Front.ShadowBTB {
+		w.frontShadow = front.NewShadowBTB(cfg.Front)
+		w.frontDec = front.NewDecoder(p, cfg.Mem.LineBytes)
+	}
+	if cfg.Front.Enabled && cfg.Front.FDIP {
+		w.frontThr = front.NewThrottle(cfg.Front)
+	}
 	return w, nil
 }
 
@@ -126,6 +145,11 @@ func (w *Warmer) Observe(d *emu.DynUop) {
 	line := w.hier.L1I.LineAddr(d.PC)
 	if !w.haveILine || line != w.lastILine {
 		w.hier.WarmInst(d.PC)
+		if w.frontShadow != nil {
+			for _, sb := range w.frontDec.Line(line) {
+				w.frontShadow.Insert(sb)
+			}
+		}
 		w.lastILine, w.haveILine = line, true
 	}
 

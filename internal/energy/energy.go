@@ -38,6 +38,12 @@ type Params struct {
 	FillBufBytes int
 	FIFOBytes    int // DBQ + CMQ
 
+	// Instruction-supply subsystem (DESIGN.md §13): the FTQ and the shadow
+	// BTB added when the timed frontend is enabled.
+	FrontEnabled   bool
+	FTQBytes       int
+	ShadowBTBBytes int
+
 	// FreqGHz converts leakage power into per-cycle energy.
 	FreqGHz float64
 }
@@ -82,6 +88,9 @@ const (
 	pjFIFO       = 1.0 // DBQ/CMQ push+pop
 	pjFillInsert = 2.0
 	pjCritRename = 4.0
+
+	// Instruction-supply structures.
+	pjShadowBTB = 2.0 // shadow BTB probe/insert (small tagged array)
 )
 
 // Area model, in relative units (a unit ~ 0.01 mm² class). Only ratios are
@@ -110,6 +119,17 @@ func cdfArea(p Params) float64 {
 	a += float64(p.FillBufBytes) / 1024.0 * 0.35 // single-ported FIFO
 	a += float64(p.FIFOBytes) / 1024.0 * 0.5
 	a += 5.0 // critical RAT, next-PC logic, rename replay logic
+	return a
+}
+
+func frontArea(p Params) float64 {
+	if !p.FrontEnabled {
+		return 0
+	}
+	a := 0.0
+	a += float64(p.FTQBytes) / 1024.0 * 0.5 // single-ported FIFO
+	a += float64(p.ShadowBTBBytes) / 1024.0
+	a += 2.0 // walker next-line logic, shadow predecoders
 	return a
 }
 
@@ -160,8 +180,17 @@ func Compute(p Params, st *stats.Stats) Report {
 			Item{"runahead", (pjRename + pjRS) * float64(st.RunaheadUops)},
 		)
 	}
+	if p.FrontEnabled {
+		dyn = append(dyn,
+			// FTQ push+pop per prefetch candidate, the prefetch's own L1I
+			// fill access, and shadow-BTB traffic (inserts + backup probes).
+			Item{"front-ftq", pjFIFO * float64(st.L1IPrefetches*2)},
+			Item{"front-l1i-prefetch", pjL1 * float64(st.L1IPrefetches)},
+			Item{"front-shadow-btb", pjShadowBTB * float64(st.ShadowBTBInserts+st.ShadowBTBHits)},
+		)
+	}
 
-	area := coreArea(p) + cdfArea(p)
+	area := coreArea(p) + cdfArea(p) + frontArea(p)
 	static := pjLeakPerAreaUnitPerCycle * area * float64(st.Cycles)
 	dyn = append(dyn, Item{"static", static})
 
@@ -175,12 +204,13 @@ func Compute(p Params, st *stats.Stats) Report {
 	refParams.ROBSize, refParams.RSSize = refROB, refRS
 	refParams.LQSize, refParams.SQSize, refParams.PRFSize = refLQ, refSQ, refPRF
 	refParams.CDFEnabled = false
+	refParams.FrontEnabled = false
 	return Report{
 		Items:       dyn,
 		TotalPJ:     total,
 		StaticPJ:    static,
 		AreaRel:     area / coreArea(refParams),
-		CDFAreaFrac: cdfArea(p) / (coreArea(p) + cdfArea(p)),
+		CDFAreaFrac: cdfArea(p) / area,
 	}
 }
 

@@ -1,0 +1,86 @@
+package front
+
+import (
+	"cdf/internal/branch"
+	"cdf/internal/isa"
+	"cdf/internal/prog"
+)
+
+// ShadowBranch is one statically decodable branch within an instruction
+// cache line: its PC and its taken-path target. Returns are excluded (their
+// target is dynamic); everything else in the ISA encodes its target in the
+// instruction word, which is what makes shadow decoding possible at all.
+type ShadowBranch struct {
+	PC     uint64
+	Target uint64
+}
+
+// Decoder maps an instruction-cache line to the shadow branches it
+// contains. It is precomputed once per program (the decode itself is free at
+// simulation time; the modeled cost is the one-cycle delay the core applies
+// before inserting into the shadow BTB).
+type Decoder struct {
+	lineBytes uint64
+	byLine    map[uint64][]ShadowBranch
+}
+
+// NewDecoder precomputes the per-line shadow-branch lists for p.
+func NewDecoder(p *prog.Program, lineBytes uint64) *Decoder {
+	d := &Decoder{lineBytes: lineBytes, byLine: make(map[uint64][]ShadowBranch)}
+	for _, b := range p.Blocks {
+		for i, u := range b.Uops {
+			if !u.Op.IsBranch() || u.Op == isa.OpRet || u.Target == isa.NoTarget {
+				continue
+			}
+			pc := p.PC(b.ID, i)
+			sb := ShadowBranch{PC: pc, Target: p.BlockPC(u.Target)}
+			line := pc / lineBytes
+			d.byLine[line] = append(d.byLine[line], sb)
+		}
+	}
+	return d
+}
+
+// Line returns the shadow branches in the given cache line (nil if none).
+func (d *Decoder) Line(line uint64) []ShadowBranch { return d.byLine[line] }
+
+// ShadowBTB is the shadow branch target buffer: a second, larger BTB filled
+// exclusively by decoding fetched lines rather than by branch resolution.
+// The main BTB's replacement churn does not touch it, so targets survive
+// there long after capacity evicts them from the primary structure —
+// that retention is the reach extension.
+type ShadowBTB struct {
+	btb *branch.BTB
+
+	Inserts uint64 // decode-path insert operations (including refreshes)
+	Hits    uint64 // successful backup probes on main-BTB target misses
+	Probes  uint64 // backup probes attempted
+}
+
+// NewShadowBTB builds the shadow BTB sized by cfg.
+func NewShadowBTB(cfg Config) *ShadowBTB {
+	return &ShadowBTB{btb: branch.NewBTB(branch.BTBConfig{Entries: cfg.ShadowEntries, Ways: cfg.ShadowWays})}
+}
+
+// Insert records a decoded shadow branch.
+func (s *ShadowBTB) Insert(sb ShadowBranch) {
+	s.Inserts++
+	s.btb.Update(sb.PC, sb.Target)
+}
+
+// Probe looks up a target without counting it as a backup probe; the FDIP
+// walker uses this form.
+func (s *ShadowBTB) Probe(pc uint64) (target uint64, ok bool) {
+	return s.btb.Probe(pc)
+}
+
+// Backup is the demand-path probe: the main BTB missed the target for a
+// taken branch at pc, and the shadow BTB gets a chance to supply it.
+func (s *ShadowBTB) Backup(pc uint64) (target uint64, ok bool) {
+	s.Probes++
+	target, ok = s.btb.Probe(pc)
+	if ok {
+		s.Hits++
+	}
+	return target, ok
+}

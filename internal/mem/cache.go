@@ -40,9 +40,13 @@ type Cache struct {
 
 // mshr is one miss-status holding register: an in-flight fill for line
 // completing at cycle ready. Later requests to the same line merge onto it.
+// pref marks fills started by an instruction prefetch; a demand merge onto
+// such a fill counts the prefetch as late (correct but not timely) and
+// consumes the mark.
 type mshr struct {
 	line  uint64
 	ready uint64
+	pref  bool
 }
 
 // NewCache builds a cache of the given total size. sizeBytes must be
@@ -194,6 +198,37 @@ func (c *Cache) AddPending(lineAddr, ready, now uint64) bool {
 	copy(c.pending[i+1:], c.pending[i:])
 	c.pending[i] = mshr{line: lineAddr, ready: ready}
 	return true
+}
+
+// AddPendingPref records an in-flight prefetch fill: like AddPending but
+// the entry carries the prefetch mark that PendingPref later consumes. A
+// merge onto an existing (demand) entry does not set the mark — the demand
+// fill was there first, so the prefetch added nothing.
+func (c *Cache) AddPendingPref(lineAddr, ready, now uint64) bool {
+	if !c.AddPending(lineAddr, ready, now) {
+		return false
+	}
+	if i, found := c.findPending(lineAddr); found {
+		c.pending[i].pref = true
+	}
+	return true
+}
+
+// PendingPref is Pending plus the prefetch-mark handshake: if the in-flight
+// fill was started by a prefetch, pref is true and the mark is consumed so
+// one prefetch is credited as late at most once.
+func (c *Cache) PendingPref(lineAddr, now uint64) (ready uint64, pref, ok bool) {
+	i, found := c.findPending(lineAddr)
+	if !found {
+		return 0, false, false
+	}
+	if r := c.pending[i].ready; r > now {
+		pref = c.pending[i].pref
+		c.pending[i].pref = false
+		return r, pref, true
+	}
+	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	return 0, false, false
 }
 
 func (c *Cache) prunePending(now uint64) {

@@ -16,6 +16,7 @@ type Config struct {
 	L1ISizeBytes int
 	L1IWays      int
 	L1ILatency   int
+	L1IMSHRs     int
 
 	L1DSizeBytes int
 	L1DWays      int
@@ -41,6 +42,7 @@ func Default() Config {
 		L1ISizeBytes:    32 * 1024,
 		L1IWays:         8,
 		L1ILatency:      2,
+		L1IMSHRs:        8,
 		L1DSizeBytes:    32 * 1024,
 		L1DWays:         8,
 		L1DLatency:      2,
@@ -60,7 +62,7 @@ func (c Config) Validate() error {
 	if c.LineBytes == 0 {
 		return fmt.Errorf("mem: zero line size")
 	}
-	if c.L1DMSHRs <= 0 || c.LLCMSHRs <= 0 {
+	if c.L1IMSHRs <= 0 || c.L1DMSHRs <= 0 || c.LLCMSHRs <= 0 {
 		return fmt.Errorf("mem: MSHR counts must be positive")
 	}
 	return c.DRAM.Validate()
@@ -139,7 +141,7 @@ func NewHierarchy(cfg Config, st *stats.Stats) *Hierarchy {
 	}
 	h := &Hierarchy{
 		cfg:  cfg,
-		L1I:  NewCache("L1I", cfg.L1ISizeBytes, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, 8),
+		L1I:  NewCache("L1I", cfg.L1ISizeBytes, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, cfg.L1IMSHRs),
 		L1D:  NewCache("L1D", cfg.L1DSizeBytes, cfg.L1DWays, cfg.LineBytes, cfg.L1DLatency, cfg.L1DMSHRs),
 		LLC:  NewCache("LLC", cfg.LLCSizeBytes, cfg.LLCWays, cfg.LineBytes, cfg.LLCLatency, cfg.LLCMSHRs),
 		DRAM: dram.New(cfg.DRAM),
@@ -241,6 +243,73 @@ func (h *Hierarchy) FetchInst(pc, now uint64) uint64 {
 		h.fetchInstLine(next, now)
 	}
 	return done
+}
+
+// FetchInstFront is FetchInst plus the FDIP credit handshake: it also
+// reports whether the demand line hit on a line installed by an
+// instruction prefetch (useful) or merged onto a still-pending one (late).
+// Both marks are consumed, so each prefetch is credited at most once. The
+// next-line prefetcher behaves exactly as in FetchInst.
+func (h *Hierarchy) FetchInstFront(pc, now uint64) (done uint64, useful, late bool) {
+	line := h.L1I.LineAddr(pc)
+	done, useful, late = h.fetchInstLineFront(line, now)
+	for d := uint64(1); d <= 2; d++ {
+		next := line + d
+		if h.L1I.Contains(next) {
+			continue
+		}
+		if _, ok := h.L1I.Pending(next, now); ok {
+			continue
+		}
+		h.fetchInstLine(next, now)
+	}
+	return done, useful, late
+}
+
+func (h *Hierarchy) fetchInstLineFront(line, now uint64) (done uint64, useful, late bool) {
+	if ready, pref, ok := h.L1I.PendingPref(line, now); ok {
+		return maxU(ready, now+uint64(h.cfg.L1ILatency)), false, pref
+	}
+	if hit, wasPref := h.L1I.Lookup(line); hit {
+		h.St.L1IHits++
+		return now + uint64(h.cfg.L1ILatency), wasPref, false
+	}
+	h.St.L1IMisses++
+	llcAt := now + uint64(h.cfg.L1ILatency)
+	d, _ := h.accessLLC(line, llcAt, true, false)
+	h.L1I.Insert(line, false, false)
+	h.L1I.AddPending(line, d, now)
+	return d, false, false
+}
+
+// PrefetchInst issues an FDIP prefetch for the given instruction line.
+// issued=false, full=false means the line is already present or in flight
+// (the FTQ entry is simply consumed); full=true means no L1I MSHR is free
+// and the FTQ must retry. The LLC walk reuses the wrong-path access flavor:
+// no demand hit/miss stats, no stream-FDP credit, no MLP accounting — an
+// instruction prefetch is not a demand access.
+func (h *Hierarchy) PrefetchInst(line, now uint64) (issued, full bool) {
+	if h.L1I.Contains(line) {
+		return false, false
+	}
+	if _, ok := h.L1I.Pending(line, now); ok {
+		return false, false
+	}
+	if h.L1I.PendingCount(now) >= h.cfg.L1IMSHRs {
+		return false, true
+	}
+	llcAt := now + uint64(h.cfg.L1ILatency)
+	done, _ := h.accessLLC(line, llcAt, true, true)
+	h.L1I.Insert(line, false, true)
+	h.L1I.AddPendingPref(line, done, now)
+	h.St.L1IPrefetches++
+	return true, false
+}
+
+// L1INextPendingReady exposes the earliest L1I fill completion (the idle
+// skip's bound when the FTQ is blocked on full MSHRs).
+func (h *Hierarchy) L1INextPendingReady() (uint64, bool) {
+	return h.L1I.NextPendingReady()
 }
 
 func (h *Hierarchy) fetchInstLine(line, now uint64) uint64 {

@@ -28,6 +28,19 @@ type Stats struct {
 
 	FetchStallCycles uint64
 
+	// Frontend instruction supply (DESIGN.md §13). The three stall-split
+	// counters attribute each FetchStallCycles tick to its cause; the rest
+	// track the FDIP prefetcher and shadow-branch decoding.
+	FetchStallIMissCycles    uint64
+	FetchStallBTBCycles      uint64
+	FetchStallRedirectCycles uint64
+	FTQOccupancySum          uint64 // FTQ entries summed over frontend-enabled cycles
+	L1IPrefetches            uint64
+	L1IPrefetchUseful        uint64
+	L1IPrefetchLate          uint64
+	ShadowBTBInserts         uint64
+	ShadowBTBHits            uint64
+
 	// Stalls (cycles during which rename could not allocate).
 	ROBFullCycles uint64
 	RSFullCycles  uint64
@@ -96,6 +109,15 @@ func (s *Stats) Merge(o *Stats) {
 	s.BranchMispredicts += o.BranchMispredicts
 	s.BTBMisses += o.BTBMisses
 	s.FetchStallCycles += o.FetchStallCycles
+	s.FetchStallIMissCycles += o.FetchStallIMissCycles
+	s.FetchStallBTBCycles += o.FetchStallBTBCycles
+	s.FetchStallRedirectCycles += o.FetchStallRedirectCycles
+	s.FTQOccupancySum += o.FTQOccupancySum
+	s.L1IPrefetches += o.L1IPrefetches
+	s.L1IPrefetchUseful += o.L1IPrefetchUseful
+	s.L1IPrefetchLate += o.L1IPrefetchLate
+	s.ShadowBTBInserts += o.ShadowBTBInserts
+	s.ShadowBTBHits += o.ShadowBTBHits
 	s.ROBFullCycles += o.ROBFullCycles
 	s.RSFullCycles += o.RSFullCycles
 	s.LQFullCycles += o.LQFullCycles
@@ -200,6 +222,24 @@ func (s *Stats) LLCMPKI() float64 {
 	return 1000 * float64(s.LLCMisses) / float64(s.RetiredUops)
 }
 
+// L1IMPKI returns L1I misses per kilo-instruction (the frontend-boundness
+// metric the instruction-supply experiments report).
+func (s *Stats) L1IMPKI() float64 {
+	if s.RetiredUops == 0 {
+		return 0
+	}
+	return 1000 * float64(s.L1IMisses) / float64(s.RetiredUops)
+}
+
+// FTQOccupancy returns the average fetch-target-queue occupancy over the
+// run (zero when the frontend subsystem is off).
+func (s *Stats) FTQOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FTQOccupancySum) / float64(s.Cycles)
+}
+
 // MemTraffic returns total DRAM transfers (reads + writes), the paper's
 // memory traffic metric (Fig. 15).
 func (s *Stats) MemTraffic() uint64 { return s.DRAMReads + s.DRAMWrites }
@@ -215,6 +255,19 @@ func (s *Stats) Table() []Row {
 		{"retired_branches", float64(s.RetiredBranches)},
 		{"branch_mpki", s.BranchMPKI()},
 		{"branch_mispredicts", float64(s.BranchMispredicts)},
+		{"btb_misses", float64(s.BTBMisses)},
+		{"l1i_misses", float64(s.L1IMisses)},
+		{"l1i_mpki", s.L1IMPKI()},
+		{"fetch_stall_cycles", float64(s.FetchStallCycles)},
+		{"fetch_stall_imiss", float64(s.FetchStallIMissCycles)},
+		{"fetch_stall_btb", float64(s.FetchStallBTBCycles)},
+		{"fetch_stall_redirect", float64(s.FetchStallRedirectCycles)},
+		{"ftq_avg_occupancy", s.FTQOccupancy()},
+		{"l1i_prefetches", float64(s.L1IPrefetches)},
+		{"l1i_prefetch_useful", float64(s.L1IPrefetchUseful)},
+		{"l1i_prefetch_late", float64(s.L1IPrefetchLate)},
+		{"shadow_btb_inserts", float64(s.ShadowBTBInserts)},
+		{"shadow_btb_hits", float64(s.ShadowBTBHits)},
 		{"l1d_misses", float64(s.L1DMisses)},
 		{"llc_misses", float64(s.LLCMisses)},
 		{"llc_mpki", s.LLCMPKI()},
@@ -259,19 +312,23 @@ func (s *Stats) String() string {
 // idle skip (DESIGN.md §9) observes one quiet cycle, captures its delta,
 // and replays it k times via AddDelta instead of simulating k cycles.
 type CycleDelta struct {
-	Cycles                uint64
-	CDFModeCycles         uint64
-	FetchStallCycles      uint64
-	ROBFullCycles         uint64
-	RSFullCycles          uint64
-	LQFullCycles          uint64
-	SQFullCycles          uint64
-	FullWindowStallCycles uint64
-	StallROBCritical      uint64
-	StallROBNonCritical   uint64
-	StallROBSamples       uint64
-	MLPSum                uint64
-	MLPCycles             uint64
+	Cycles                   uint64
+	CDFModeCycles            uint64
+	FetchStallCycles         uint64
+	FetchStallIMissCycles    uint64
+	FetchStallBTBCycles      uint64
+	FetchStallRedirectCycles uint64
+	FTQOccupancySum          uint64
+	ROBFullCycles            uint64
+	RSFullCycles             uint64
+	LQFullCycles             uint64
+	SQFullCycles             uint64
+	FullWindowStallCycles    uint64
+	StallROBCritical         uint64
+	StallROBNonCritical      uint64
+	StallROBSamples          uint64
+	MLPSum                   uint64
+	MLPCycles                uint64
 }
 
 // DeltaSince returns the change from prev to s, provided that change is
@@ -279,19 +336,23 @@ type CycleDelta struct {
 // counter means the cycle did work and returns ok=false.
 func (s *Stats) DeltaSince(prev *Stats) (d CycleDelta, ok bool) {
 	d = CycleDelta{
-		Cycles:                s.Cycles - prev.Cycles,
-		CDFModeCycles:         s.CDFModeCycles - prev.CDFModeCycles,
-		FetchStallCycles:      s.FetchStallCycles - prev.FetchStallCycles,
-		ROBFullCycles:         s.ROBFullCycles - prev.ROBFullCycles,
-		RSFullCycles:          s.RSFullCycles - prev.RSFullCycles,
-		LQFullCycles:          s.LQFullCycles - prev.LQFullCycles,
-		SQFullCycles:          s.SQFullCycles - prev.SQFullCycles,
-		FullWindowStallCycles: s.FullWindowStallCycles - prev.FullWindowStallCycles,
-		StallROBCritical:      s.StallROBCritical - prev.StallROBCritical,
-		StallROBNonCritical:   s.StallROBNonCritical - prev.StallROBNonCritical,
-		StallROBSamples:       s.StallROBSamples - prev.StallROBSamples,
-		MLPSum:                s.mlpSum - prev.mlpSum,
-		MLPCycles:             s.mlpCycles - prev.mlpCycles,
+		Cycles:                   s.Cycles - prev.Cycles,
+		CDFModeCycles:            s.CDFModeCycles - prev.CDFModeCycles,
+		FetchStallCycles:         s.FetchStallCycles - prev.FetchStallCycles,
+		FetchStallIMissCycles:    s.FetchStallIMissCycles - prev.FetchStallIMissCycles,
+		FetchStallBTBCycles:      s.FetchStallBTBCycles - prev.FetchStallBTBCycles,
+		FetchStallRedirectCycles: s.FetchStallRedirectCycles - prev.FetchStallRedirectCycles,
+		FTQOccupancySum:          s.FTQOccupancySum - prev.FTQOccupancySum,
+		ROBFullCycles:            s.ROBFullCycles - prev.ROBFullCycles,
+		RSFullCycles:             s.RSFullCycles - prev.RSFullCycles,
+		LQFullCycles:             s.LQFullCycles - prev.LQFullCycles,
+		SQFullCycles:             s.SQFullCycles - prev.SQFullCycles,
+		FullWindowStallCycles:    s.FullWindowStallCycles - prev.FullWindowStallCycles,
+		StallROBCritical:         s.StallROBCritical - prev.StallROBCritical,
+		StallROBNonCritical:      s.StallROBNonCritical - prev.StallROBNonCritical,
+		StallROBSamples:          s.StallROBSamples - prev.StallROBSamples,
+		MLPSum:                   s.mlpSum - prev.mlpSum,
+		MLPCycles:                s.mlpCycles - prev.mlpCycles,
 	}
 	// Masked equality: overwrite the whitelisted fields of a copy of prev
 	// with s's values; every other counter must already match (Stats is all
@@ -300,6 +361,10 @@ func (s *Stats) DeltaSince(prev *Stats) (d CycleDelta, ok bool) {
 	masked.Cycles = s.Cycles
 	masked.CDFModeCycles = s.CDFModeCycles
 	masked.FetchStallCycles = s.FetchStallCycles
+	masked.FetchStallIMissCycles = s.FetchStallIMissCycles
+	masked.FetchStallBTBCycles = s.FetchStallBTBCycles
+	masked.FetchStallRedirectCycles = s.FetchStallRedirectCycles
+	masked.FTQOccupancySum = s.FTQOccupancySum
 	masked.ROBFullCycles = s.ROBFullCycles
 	masked.RSFullCycles = s.RSFullCycles
 	masked.LQFullCycles = s.LQFullCycles
@@ -318,6 +383,10 @@ func (s *Stats) AddDelta(d CycleDelta, k uint64) {
 	s.Cycles += d.Cycles * k
 	s.CDFModeCycles += d.CDFModeCycles * k
 	s.FetchStallCycles += d.FetchStallCycles * k
+	s.FetchStallIMissCycles += d.FetchStallIMissCycles * k
+	s.FetchStallBTBCycles += d.FetchStallBTBCycles * k
+	s.FetchStallRedirectCycles += d.FetchStallRedirectCycles * k
+	s.FTQOccupancySum += d.FTQOccupancySum * k
 	s.ROBFullCycles += d.ROBFullCycles * k
 	s.RSFullCycles += d.RSFullCycles * k
 	s.LQFullCycles += d.LQFullCycles * k

@@ -31,6 +31,15 @@ type JobSpec struct {
 	MaxUops uint64 `json:"max_uops,omitempty"`
 	// WarmupUops per run, excluded from statistics.
 	WarmupUops uint64 `json:"warmup_uops,omitempty"`
+	// Frontend enables the instruction-supply subsystem (timed L1I) for
+	// every case; FDIP and ShadowBTB layer the prefetcher and shadow
+	// decoder on top, PerfectL1I is the always-hits upper bound. The
+	// frontend CSV columns (l1i_mpki, ftq occupancy, fetch-stall split)
+	// are zero unless Frontend is set.
+	Frontend   bool `json:"frontend,omitempty"`
+	PerfectL1I bool `json:"perfect_l1i,omitempty"`
+	FDIP       bool `json:"fdip,omitempty"`
+	ShadowBTB  bool `json:"shadow_btb,omitempty"`
 	// TimeoutSec bounds one case's wall-clock time inside the worker
 	// (0 = none).
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -71,6 +80,12 @@ func (sp *JobSpec) normalize() error {
 		if s == 0 {
 			return fmt.Errorf("sweepd: seed 0 is reserved (it means \"randomize\" elsewhere); use an explicit seed")
 		}
+	}
+	if !sp.Frontend && (sp.PerfectL1I || sp.FDIP || sp.ShadowBTB) {
+		return fmt.Errorf("sweepd: perfect_l1i/fdip/shadow_btb require frontend")
+	}
+	if sp.FDIP && sp.PerfectL1I {
+		return fmt.Errorf("sweepd: fdip is meaningless with perfect_l1i")
 	}
 	if sp.TimeoutSec < 0 || sp.DeadlineSec < 0 {
 		return fmt.Errorf("sweepd: negative time bound")
@@ -113,6 +128,10 @@ func (sp JobSpec) cases() []Case {
 					WarmupUops: sp.WarmupUops,
 					Seed:       seed,
 					Timeout:    time.Duration(sp.TimeoutSec * float64(time.Second)),
+					Frontend:   sp.Frontend,
+					PerfectL1I: sp.PerfectL1I,
+					FDIP:       sp.FDIP,
+					ShadowBTB:  sp.ShadowBTB,
 				}})
 			}
 		}
@@ -134,11 +153,12 @@ type Row struct {
 // csvHeader and (Row).csv render the deterministic table the smoke tests
 // byte-compare across crash/restart runs; volatile fields (from_cache,
 // attempt counts) are deliberately excluded.
-var csvHeader = []string{"bench", "mode", "seed", "status", "cycles", "uops", "ipc", "mlp", "mem_traffic", "energy_pj"}
+var csvHeader = []string{"bench", "mode", "seed", "status", "cycles", "uops", "ipc", "mlp", "mem_traffic", "energy_pj",
+	"l1i_mpki", "ftq_avg_occupancy", "fetch_stall_imiss", "fetch_stall_btb", "fetch_stall_redirect"}
 
 func (r Row) csv() []string {
-	rec := []string{r.Bench, r.Mode, strconv.FormatUint(r.Seed, 10), r.Status,
-		"", "", "", "", "", ""}
+	rec := make([]string, len(csvHeader))
+	rec[0], rec[1], rec[2], rec[3] = r.Bench, r.Mode, strconv.FormatUint(r.Seed, 10), r.Status
 	if r.Result != nil {
 		rec[4] = strconv.FormatUint(r.Result.Cycles, 10)
 		rec[5] = strconv.FormatUint(r.Result.Uops, 10)
@@ -146,6 +166,9 @@ func (r Row) csv() []string {
 		rec[7] = strconv.FormatFloat(r.Result.MLP, 'f', 6, 64)
 		rec[8] = strconv.FormatUint(r.Result.MemTraffic, 10)
 		rec[9] = strconv.FormatFloat(r.Result.EnergyPJ, 'f', 3, 64)
+		for i, m := range csvHeader[10:] {
+			rec[10+i] = strconv.FormatFloat(r.Result.Metric(m), 'f', 3, 64)
+		}
 	}
 	return rec
 }

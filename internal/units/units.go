@@ -26,7 +26,10 @@ var suffixes = map[byte]struct {
 // integer ("0", "200000"), or a non-negative decimal with a k, M or G
 // suffix ("200k", "5M", "1.5M", "0.25g"). A fraction is only meaningful
 // with a suffix, and must come out to a whole number of uops ("1.5k" is
-// 1500; "1.0001k" is rejected).
+// 1500; "1.0001k" is rejected). Counts above math.MaxInt64 are rejected
+// even though they fit a uint64: consumers multiply uop counts (cycle
+// caps, interval math) and the int64 ceiling keeps that arithmetic from
+// silently wrapping.
 func ParseUops(s string) (uint64, error) {
 	orig := s
 	if s == "" {
@@ -73,6 +76,9 @@ func ParseUops(s string) (uint64, error) {
 			return 0, fmt.Errorf("units: uop count %q overflows", orig)
 		}
 		v += add
+	}
+	if v > math.MaxInt64 {
+		return 0, fmt.Errorf("units: uop count %q exceeds the int64 limit (%d)", orig, int64(math.MaxInt64))
 	}
 	return v, nil
 }

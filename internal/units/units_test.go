@@ -26,9 +26,13 @@ func TestParseUops(t *testing.T) {
 		{"0.25g", 250_000_000, false},
 		{"1.234k", 1_234, false},
 		{"0.001k", 1, false},
-		{"18446744073709551615", math.MaxUint64, false},
+		{"9223372036854775807", math.MaxInt64, false}, // exactly the cap
 
 		{"", 0, true},
+		{"9223372036854775808", 0, true},  // MaxInt64+1: fits uint64, rejected
+		{"18446744073709551615", 0, true}, // MaxUint64: beyond the int64 cap
+		{"10000000000G", 0, true},         // 1e19: fits uint64, beyond int64
+		{"9223372036.9G", 0, true},        // fraction path landing just past the cap
 		{"k", 0, true},
 		{"M", 0, true},
 		{"1.5", 0, true},     // fraction without suffix

@@ -37,6 +37,11 @@ type Workload struct {
 	// Expect documents the paper's qualitative result for this benchmark
 	// ("cdf", "pre", "both", "neither") — used by shape tests.
 	Expect string
+	// Frontend marks instruction-supply-bound kernels (see front.go): they
+	// are outside the paper's data-side suite, so the Fig. 13–17 default
+	// sweeps skip them; the FrontSupply experiment and the full-coverage
+	// matrix tests include them.
+	Frontend bool
 	// Build constructs the program and its initial memory.
 	Build func() (*prog.Program, *emu.Memory)
 }

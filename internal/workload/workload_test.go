@@ -9,11 +9,12 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	// The suite must cover the paper's benchmark list.
+	// The suite must cover the paper's benchmark list plus the
+	// frontend-bound family (front.go).
 	want := []string{
-		"astar", "bzip", "cactus", "fotonik", "gems", "lbm", "leslie3d",
-		"libquantum", "mcf", "nab", "omnetpp", "parest", "roms", "soplex",
-		"sphinx", "wrf", "zeusmp",
+		"astar", "bzip", "cactus", "deepcall", "fotonik", "gems", "interp",
+		"lbm", "leslie3d", "libquantum", "mcf", "nab", "omnetpp", "parest",
+		"roms", "server", "soplex", "sphinx", "wrf", "zeusmp",
 	}
 	got := Names()
 	if len(got) != len(want) {
@@ -22,6 +23,12 @@ func TestRegistryComplete(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("kernel %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	frontend := map[string]bool{"deepcall": true, "interp": true, "server": true}
+	for _, w := range All() {
+		if w.Frontend != frontend[w.Name] {
+			t.Errorf("%s: Frontend = %v, want %v", w.Name, w.Frontend, frontend[w.Name])
 		}
 	}
 }

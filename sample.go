@@ -82,17 +82,14 @@ func (s Sampling) validate(maxUops, warmupUops uint64) error {
 		}
 		return nil
 	}
-	if warmupUops != 0 {
-		return fmt.Errorf("cdf: WarmupUops cannot be combined with sampling (sampling has per-interval warmup)")
-	}
 	e := s.effective()
 	if e.Warmup+e.Measure > e.Interval {
 		return fmt.Errorf("cdf: sampling warmup+measure (%d+%d) exceeds the interval (%d)",
 			e.Warmup, e.Measure, e.Interval)
 	}
-	if e.Interval > maxUops {
-		return fmt.Errorf("cdf: sampling interval (%d) exceeds the run budget (%d uops): no interval would be measured",
-			e.Interval, maxUops)
+	if warmupUops+e.Interval > maxUops {
+		return fmt.Errorf("cdf: sampling interval (%d) exceeds the run budget (%d uops after %d warmup): no interval would be measured",
+			e.Interval, maxUops, warmupUops)
 	}
 	return nil
 }
@@ -168,6 +165,7 @@ type sampler struct {
 	warmer *core.Warmer
 
 	end      uint64 // total uop budget
+	base     uint64 // uops skipped (with warming) before the first stratum
 	seed     uint64 // resolved core seed; also drives block placement
 	kIdx     uint64 // index of the next (or current) interval
 	nextCkpt uint64 // master position where the next interval starts
@@ -312,14 +310,14 @@ func (s *sampler) endInterval() {
 	s.warmer.Resync(c)
 	s.catchup = s.nextCkpt + c.FetchFrontier()
 	s.kIdx++
-	if (s.kIdx+1)*s.samp.Interval > s.end {
+	if s.base+(s.kIdx+1)*s.samp.Interval > s.end {
 		// No further interval fits: the run is done. The tail beyond the
 		// last measured region is never touched — not even functionally.
 		s.reason = StopCompleted
 		s.phase = phaseDone
 		return
 	}
-	s.nextCkpt = s.kIdx*s.samp.Interval + s.samp.blockOffset(s.seed, s.kIdx)
+	s.nextCkpt = s.base + s.kIdx*s.samp.Interval + s.samp.blockOffset(s.seed, s.kIdx)
 	s.phase = phaseCatchup
 }
 
@@ -330,7 +328,7 @@ func (s *sampler) finishEarly() {
 	s.reason = StopCompleted
 	s.phase = phaseDone
 	s.softErr = fmt.Errorf("program halted at uop %d of %d: sampled %d/%d intervals",
-		s.master.Executed(), s.end, s.nIvl, s.end/s.samp.Interval)
+		s.master.Executed(), s.end, s.nIvl, (s.end-s.base)/s.samp.Interval)
 }
 
 // runSampled executes one benchmark in sampled mode. opt must have passed
@@ -357,8 +355,9 @@ func runSampled(ctx context.Context, benchmark string, w workload.Workload, opt 
 		master:   emu.New(prg, m),
 		warmer:   warmer,
 		end:      cfg.MaxRetired,
+		base:     opt.WarmupUops,
 		seed:     cfg.Seed,
-		nextCkpt: samp.blockOffset(cfg.Seed, 0),
+		nextCkpt: opt.WarmupUops + samp.blockOffset(cfg.Seed, 0),
 		reason:   core.StopNone,
 	}
 	reason, err := harness.Exec(ctx, s, harness.Options{Timeout: opt.Timeout, Seed: opt.Seed})
